@@ -1,0 +1,56 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, using
+scaled-down experiment settings so the full harness completes in minutes on
+a laptop.  Set the environment variable ``REPRO_BENCH_SCALE=paper`` to run
+the paper-scale grid instead (hours of compute).
+
+Each benchmark prints the resulting table; compare the rows against the
+corresponding table/figure in the paper (and the expectations recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import TrainingConfig
+from repro.experiments import ExperimentSettings
+
+
+def _bench_settings() -> ExperimentSettings:
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper":
+        return ExperimentSettings.paper_scale()
+    return ExperimentSettings(
+        datasets=("chameleon", "power", "arxiv"),
+        dataset_scale=0.4,
+        repeats=1,
+        training=TrainingConfig(
+            embedding_dim=16,
+            batch_size=96,
+            learning_rate=0.1,
+            negative_samples=5,
+            epochs=120,
+        ),
+        epsilons=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings shared by every benchmark."""
+    return _bench_settings()
+
+
+@pytest.fixture(scope="session")
+def quick_bench_settings() -> ExperimentSettings:
+    """An even smaller grid for the parameter-sweep tables (II-V)."""
+    settings = _bench_settings()
+    return settings.with_updates(
+        datasets=("chameleon",),
+        training=settings.training.with_updates(epochs=60),
+        epsilons=(0.5, 2.0, 3.5),
+    )

@@ -1,0 +1,104 @@
+"""SE-PrivGEmb: structure-preference enabled graph embedding under differential privacy.
+
+Reproduction of Zhang, Ye & Hu, *Structure-Preference Enabled Graph Embedding
+Generation under Differential Privacy* (ICDE 2025).
+
+The most common entry points are re-exported here:
+
+>>> from repro import load_dataset, SEPrivGEmbTrainer, DeepWalkProximity
+>>> graph = load_dataset("chameleon", scale=0.3)
+>>> trainer = SEPrivGEmbTrainer(graph, DeepWalkProximity())
+>>> result = trainer.train(epochs=20)
+>>> result.embeddings.shape[0] == graph.num_nodes
+True
+"""
+
+from .config import PrivacyConfig, TrainingConfig
+from .exceptions import (
+    ReproError,
+    GraphError,
+    DatasetError,
+    ProximityError,
+    PrivacyError,
+    PrivacyBudgetExhausted,
+    ConfigurationError,
+    TrainingError,
+    EvaluationError,
+)
+from .graph import Graph, load_dataset, available_datasets, RandomWalker
+from .proximity import (
+    DeepWalkProximity,
+    DegreeProximity,
+    CommonNeighborsProximity,
+    AdamicAdarProximity,
+    ResourceAllocationProximity,
+    KatzProximity,
+    PersonalizedPageRankProximity,
+    PreferentialAttachmentProximity,
+    JaccardProximity,
+    get_proximity,
+    available_proximities,
+)
+from .privacy import RdpAccountant, MomentsAccountant, GaussianMechanism
+from .embedding import (
+    SkipGramModel,
+    SEGEmbTrainer,
+    SEPrivGEmbTrainer,
+    NaivePerturbation,
+    NonZeroPerturbation,
+)
+from .baselines import DPGGAN, DPGVAE, GAP, ProGAP, get_baseline, available_baselines
+from .evaluation import (
+    structural_equivalence_score,
+    link_prediction_auc,
+    make_link_prediction_split,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PrivacyConfig",
+    "TrainingConfig",
+    "ReproError",
+    "GraphError",
+    "DatasetError",
+    "ProximityError",
+    "PrivacyError",
+    "PrivacyBudgetExhausted",
+    "ConfigurationError",
+    "TrainingError",
+    "EvaluationError",
+    "Graph",
+    "load_dataset",
+    "available_datasets",
+    "RandomWalker",
+    "DeepWalkProximity",
+    "DegreeProximity",
+    "CommonNeighborsProximity",
+    "AdamicAdarProximity",
+    "ResourceAllocationProximity",
+    "KatzProximity",
+    "PersonalizedPageRankProximity",
+    "PreferentialAttachmentProximity",
+    "JaccardProximity",
+    "get_proximity",
+    "available_proximities",
+    "RdpAccountant",
+    "MomentsAccountant",
+    "GaussianMechanism",
+    "SkipGramModel",
+    "SEGEmbTrainer",
+    "SEPrivGEmbTrainer",
+    "NaivePerturbation",
+    "NonZeroPerturbation",
+    "DPGGAN",
+    "DPGVAE",
+    "GAP",
+    "ProGAP",
+    "get_baseline",
+    "available_baselines",
+    "structural_equivalence_score",
+    "link_prediction_auc",
+    "make_link_prediction_split",
+]

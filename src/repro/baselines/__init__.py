@@ -1,0 +1,18 @@
+"""Competitor methods used in the paper's evaluation (Figures 3 and 4)."""
+
+from .base import BaselineEmbedder
+from .dpggan import DPGGAN
+from .dpgvae import DPGVAE
+from .gap import GAP
+from .progap import ProGAP
+from .registry import available_baselines, get_baseline
+
+__all__ = [
+    "BaselineEmbedder",
+    "DPGGAN",
+    "DPGVAE",
+    "GAP",
+    "ProGAP",
+    "available_baselines",
+    "get_baseline",
+]

@@ -1,0 +1,101 @@
+"""ProGAP baseline: progressive GNN with aggregation perturbation.
+
+Sajadmanesh & Gatica-Perez (WSDM 2024) improve on GAP by training the model
+*progressively*: stage ``s`` perturbs only one new aggregation computed on
+the (already private) output of stage ``s-1``, then caches it, so noisy
+aggregations are not recomputed every iteration.  The privacy budget is
+split across stages rather than across every training step, which is why
+ProGAP "offers slightly better utility than GAP" (Section VI-D of the
+SE-PrivGEmb paper).
+
+The reproduction mirrors that structure: each stage computes one clipped,
+noised aggregation of the previous stage's embedding, passes it through a
+small trainable transform, and concatenates a residual of the previous
+stage.  The per-stage noise is calibrated so the composed RDP cost meets the
+(ε, δ) target — the same calibration as GAP, but with fewer perturbations
+re-used more effectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..nn.gcn import GCNLayer, normalized_adjacency
+from ..privacy.mechanisms import clip_rows
+from ..privacy.rdp import DEFAULT_ALPHA_GRID, gaussian_rdp, rdp_to_dp
+from .base import BaselineEmbedder
+
+__all__ = ["ProGAP"]
+
+
+class ProGAP(BaselineEmbedder):
+    """Progressive aggregation-perturbation GNN (simplified numpy reproduction)."""
+
+    name = "progap"
+
+    def __init__(
+        self,
+        *args,
+        num_stages: int = 3,
+        feature_dim: int = 64,
+        row_clip: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+        self.num_stages = int(num_stages)
+        self.feature_dim = int(feature_dim)
+        self.row_clip = float(row_clip)
+
+    def _calibrate_noise(self) -> float:
+        """Noise multiplier whose ``num_stages``-fold composition meets the budget."""
+        target_eps = self.privacy_config.epsilon
+        delta = self.privacy_config.delta
+
+        def epsilon_for(noise_multiplier: float) -> float:
+            curve = self.num_stages * gaussian_rdp(noise_multiplier, DEFAULT_ALPHA_GRID)
+            eps, _ = rdp_to_dp(curve, DEFAULT_ALPHA_GRID, delta)
+            return eps
+
+        lo, hi = 1e-2, 1e4
+        for _ in range(80):
+            mid = np.sqrt(lo * hi)
+            if epsilon_for(mid) > target_eps:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def fit(self, graph: Graph) -> np.ndarray:
+        """Progressively encode the graph and return the final-stage embeddings."""
+        cfg = self.training_config
+        n = graph.num_nodes
+        r = cfg.embedding_dim
+
+        adjacency = normalized_adjacency(graph)
+        noise_multiplier = self._calibrate_noise()
+        noise_std = noise_multiplier * self.row_clip
+
+        current = self._rng.normal(0.0, 1.0, size=(n, self.feature_dim))
+        stage_outputs: list[np.ndarray] = []
+        for stage in range(self.num_stages):
+            aggregated = clip_rows(adjacency @ current, self.row_clip)
+            noisy = aggregated + self._rng.normal(0.0, noise_std, size=aggregated.shape)
+            # Once perturbed, the aggregation is cached; the transform below is
+            # post-processing and costs no extra privacy (Theorem 2).
+            layer = GCNLayer(noisy.shape[1], r, activation="tanh", seed=self._rng)
+            transformed = layer.transform(noisy)
+            stage_outputs.append(transformed)
+            # The next stage aggregates the (private) output of this one,
+            # concatenated with a residual to keep low-hop information.
+            current = np.concatenate([transformed, noisy], axis=1)
+
+        # Progressive models read out from the concatenation of all stages,
+        # projected back to the embedding dimension.
+        stacked = np.concatenate(stage_outputs, axis=1)
+        projection = self._rng.normal(
+            0.0, 1.0 / np.sqrt(stacked.shape[1]), size=(stacked.shape[1], r)
+        )
+        return self._store(stacked @ projection)

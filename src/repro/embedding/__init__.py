@@ -1,0 +1,35 @@
+"""Skip-gram graph embedding: the paper's core (SE-GEmb / SE-PrivGEmb)."""
+
+from .skipgram import SkipGramModel
+from .objectives import (
+    StructurePreferenceObjective,
+    pair_loss,
+    pair_gradients,
+    PairGradients,
+)
+from .optimizer import SGDOptimizer
+from .perturbation import (
+    PerturbationStrategy,
+    NaivePerturbation,
+    NonZeroPerturbation,
+    get_perturbation,
+)
+from .trainer import SEGEmbTrainer, EmbeddingResult
+from .private_trainer import SEPrivGEmbTrainer, PrivateEmbeddingResult
+
+__all__ = [
+    "SkipGramModel",
+    "StructurePreferenceObjective",
+    "pair_loss",
+    "pair_gradients",
+    "PairGradients",
+    "SGDOptimizer",
+    "PerturbationStrategy",
+    "NaivePerturbation",
+    "NonZeroPerturbation",
+    "get_perturbation",
+    "SEGEmbTrainer",
+    "EmbeddingResult",
+    "SEPrivGEmbTrainer",
+    "PrivateEmbeddingResult",
+]

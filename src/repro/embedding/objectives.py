@@ -1,0 +1,198 @@
+"""The structure-preference skip-gram objective and its gradients.
+
+Eq. (5) of the paper defines, for each observed edge ``(v_i, v_j)`` with
+proximity weight ``p_ij``:
+
+``L_nov(v_i, v_j, p_ij) = -p_ij log σ(v_j · v_i)
+                          - p_ij Σ_{n=1..k} E_{v_n ~ P_n} log σ(-v_n · v_i)``
+
+Its gradients (Eq. 7 and Eq. 8) touch only the centre row of ``W_in`` and the
+``k + 1`` sampled rows of ``W_out``:
+
+* ``∂L/∂v_i  = p_ij Σ_{n=0..k} (σ(v_n·v_i) - 1[v_n = v_j]) v_n``
+* ``∂L/∂v_n  = p_ij (σ(v_n·v_i) - 1[v_n = v_j]) v_i``
+
+where ``n = 0`` denotes the positive node ``v_j``.  That sparsity is exactly
+what the non-zero perturbation strategy exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..graph.sampling import EdgeSubgraph
+from ..proximity.base import ProximityMatrix
+from ..utils.math import log_sigmoid, sigmoid
+
+__all__ = [
+    "PairGradients",
+    "pair_loss",
+    "pair_gradients",
+    "StructurePreferenceObjective",
+]
+
+
+@dataclass
+class PairGradients:
+    """Sparse gradients of one training example (one edge subgraph).
+
+    Attributes
+    ----------
+    center:
+        The centre node index whose ``W_in`` row has a non-zero gradient.
+    center_gradient:
+        Gradient with respect to ``W_in[center]`` (shape ``(r,)``).
+    context_nodes:
+        The ``k + 1`` context node indices (positive first) whose ``W_out``
+        rows have non-zero gradients.
+    context_gradients:
+        Gradient rows aligned with ``context_nodes`` (shape ``(k + 1, r)``).
+    loss:
+        The scalar loss value of this example.
+    """
+
+    center: int
+    center_gradient: np.ndarray
+    context_nodes: np.ndarray
+    context_gradients: np.ndarray
+    loss: float
+
+
+def pair_loss(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    subgraph: EdgeSubgraph,
+    weight: float,
+) -> float:
+    """Loss of a single edge subgraph under the structure-preference objective."""
+    center_vec = w_in[subgraph.center]
+    positive_score = float(w_out[subgraph.positive] @ center_vec)
+    negative_scores = w_out[subgraph.negatives] @ center_vec
+    loss = -weight * float(log_sigmoid(positive_score))
+    loss -= weight * float(np.sum(log_sigmoid(-negative_scores)))
+    return loss
+
+
+def pair_gradients(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    subgraph: EdgeSubgraph,
+    weight: float,
+) -> PairGradients:
+    """Gradients (Eq. 7 / Eq. 8) of a single edge subgraph.
+
+    The returned gradients are of the *loss* (to be subtracted, scaled by the
+    learning rate, during descent).
+    """
+    if weight < 0:
+        raise TrainingError(f"proximity weight must be non-negative, got {weight}")
+    center = int(subgraph.center)
+    context_nodes = subgraph.all_context_nodes()
+    center_vec = w_in[center]
+    context_vecs = w_out[context_nodes]
+
+    scores = context_vecs @ center_vec
+    probabilities = sigmoid(scores)
+    indicators = np.zeros_like(probabilities)
+    indicators[0] = 1.0  # the first context node is the positive v_j
+    errors = weight * (probabilities - indicators)
+
+    center_gradient = errors @ context_vecs
+    context_gradients = np.outer(errors, center_vec)
+
+    loss = -weight * float(log_sigmoid(scores[0]))
+    loss -= weight * float(np.sum(log_sigmoid(-scores[1:])))
+
+    return PairGradients(
+        center=center,
+        center_gradient=center_gradient,
+        context_nodes=context_nodes,
+        context_gradients=context_gradients,
+        loss=loss,
+    )
+
+
+class StructurePreferenceObjective:
+    """Binds a proximity matrix to the skip-gram objective of Eq. (5).
+
+    The objective supplies, per edge subgraph, the proximity weight ``p_ij``
+    and (through :meth:`negative_sampling_mass`) the Theorem-3 negative
+    sampling mass ``min(P)/Σ_j p_ij`` that makes the optimum preserve
+    ``log(p_ij / (k · min(P)))``.
+
+    Parameters
+    ----------
+    proximity:
+        The computed :class:`ProximityMatrix`.
+    weight_floor:
+        Proximity values below this floor are lifted to it so that every
+        observed edge retains a non-zero learning signal even if the chosen
+        proximity assigns it zero (e.g. common neighbours of a degree-1
+        node).  Set to 0 to disable.
+    normalize_weights:
+        If ``True`` (default), edge weights are divided by ``max(P)`` so the
+        loss multiplier lies in ``(0, 1]``.  Rescaling the whole proximity
+        matrix leaves the Theorem-3 optimum unchanged (it depends only on
+        the ratio ``p_ij / min(P)``) but keeps SGD steps well conditioned —
+        raw DeepWalk proximities can be in the tens and would otherwise blow
+        up the unclipped non-private trainer.
+    """
+
+    def __init__(
+        self,
+        proximity: ProximityMatrix,
+        weight_floor: float = 1e-6,
+        normalize_weights: bool = True,
+    ) -> None:
+        if weight_floor < 0:
+            raise TrainingError(f"weight_floor must be non-negative, got {weight_floor}")
+        self.proximity = proximity
+        self.weight_floor = float(weight_floor)
+        self.normalize_weights = bool(normalize_weights)
+        peak = float(proximity.matrix.max())
+        self._weight_scale = 1.0 / peak if (self.normalize_weights and peak > 0) else 1.0
+
+    def edge_weight(self, center: int, positive: int) -> float:
+        """Return the (optionally rescaled) ``p_ij`` for an observed edge."""
+        value = self.proximity.pair_value(center, positive) * self._weight_scale
+        return max(value, self.weight_floor)
+
+    def negative_sampling_mass(self, center: int) -> float:
+        """Theorem-3 mass ``min(P) / Σ_j p_ij`` for the given centre."""
+        return self.proximity.negative_sampling_mass(center)
+
+    def optimal_inner_product(self, center: int, positive: int, num_negatives: int) -> float:
+        """Eq. (10): the theoretically optimal ``v_i · v_j`` for this pair."""
+        return self.proximity.theoretical_optimal_inner_product(
+            center, positive, num_negatives
+        )
+
+    def example_loss(self, w_in: np.ndarray, w_out: np.ndarray, subgraph: EdgeSubgraph) -> float:
+        """Loss of one edge subgraph with its proximity weight applied."""
+        weight = self.edge_weight(subgraph.center, subgraph.positive)
+        return pair_loss(w_in, w_out, subgraph, weight)
+
+    def example_gradients(
+        self, w_in: np.ndarray, w_out: np.ndarray, subgraph: EdgeSubgraph
+    ) -> PairGradients:
+        """Gradients of one edge subgraph with its proximity weight applied."""
+        weight = self.edge_weight(subgraph.center, subgraph.positive)
+        return pair_gradients(w_in, w_out, subgraph, weight)
+
+    def batch_loss(
+        self, w_in: np.ndarray, w_out: np.ndarray, batch: list[EdgeSubgraph]
+    ) -> float:
+        """Mean loss over a batch of edge subgraphs."""
+        if not batch:
+            raise TrainingError("batch must not be empty")
+        total = sum(self.example_loss(w_in, w_out, subgraph) for subgraph in batch)
+        return total / len(batch)
+
+    def __repr__(self) -> str:
+        return (
+            f"StructurePreferenceObjective(proximity={self.proximity.name!r}, "
+            f"weight_floor={self.weight_floor})"
+        )

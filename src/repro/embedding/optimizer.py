@@ -1,0 +1,75 @@
+"""Plain SGD with optional learning-rate decay.
+
+The paper optimises skip-gram with vanilla SGD (Algorithm 2 updates each
+weight matrix by the averaged, possibly-noised batch gradient scaled by the
+learning rate ``η``).  The optimiser here applies dense deltas; sparsity is
+handled upstream by the trainers, which build dense delta matrices whose
+untouched rows are zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SGDOptimizer"]
+
+
+class SGDOptimizer:
+    """Stochastic gradient descent on the two skip-gram matrices.
+
+    Parameters
+    ----------
+    learning_rate:
+        Initial step size ``η``.
+    decay:
+        Multiplicative decay applied per epoch: the effective rate at epoch
+        ``t`` is ``η / (1 + decay · t)``.  ``0`` (default) keeps it constant,
+        which is what the paper's parameter study uses.
+    """
+
+    def __init__(self, learning_rate: float, decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if decay < 0:
+            raise ConfigurationError(f"decay must be non-negative, got {decay}")
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self._epoch = 0
+
+    @property
+    def current_rate(self) -> float:
+        """The learning rate in effect for the current epoch."""
+        return self.learning_rate / (1.0 + self.decay * self._epoch)
+
+    def step_epoch(self) -> None:
+        """Advance the epoch counter (affects decayed learning rates only)."""
+        self._epoch += 1
+
+    def descend(self, parameters: np.ndarray, gradient: np.ndarray) -> None:
+        """In-place descent step: ``parameters -= current_rate * gradient``."""
+        if parameters.shape != gradient.shape:
+            raise ConfigurationError(
+                f"parameter/gradient shapes differ: {parameters.shape} vs {gradient.shape}"
+            )
+        parameters -= self.current_rate * gradient
+
+    def descend_rows(
+        self, parameters: np.ndarray, rows: np.ndarray, gradient_rows: np.ndarray
+    ) -> None:
+        """Sparse descent on selected rows only.
+
+        ``rows`` may contain duplicates; contributions accumulate, matching
+        a dense update where several examples touch the same row.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        gradient_rows = np.asarray(gradient_rows, dtype=float)
+        if gradient_rows.shape[0] != rows.shape[0]:
+            raise ConfigurationError(
+                "rows and gradient_rows must have the same leading dimension"
+            )
+        np.subtract.at(parameters, rows, self.current_rate * gradient_rows)
+
+    def __repr__(self) -> str:
+        return f"SGDOptimizer(learning_rate={self.learning_rate}, decay={self.decay})"

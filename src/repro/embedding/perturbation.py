@@ -1,0 +1,233 @@
+"""Gradient perturbation strategies: naive (Eq. 6) vs non-zero (Eq. 9).
+
+Both strategies follow the DPSGD recipe: per-example gradients are clipped
+to ℓ2 norm ``C``, summed over the batch, noised with a Gaussian, and
+averaged by the batch size ``B``.  They differ in *where* the noise goes and
+in the sensitivity that calibrates it:
+
+* :class:`NaivePerturbation` — the first-cut solution of Section III-B.
+  Under node-level DP the summed gradient has worst-case sensitivity
+  ``S = B·C`` (all B examples may involve the changed node), and the noise
+  matrix ``N(S²σ²I)`` is dense: every row of the gradient receives noise,
+  including rows whose gradient is exactly zero.
+* :class:`NonZeroPerturbation` — the paper's noise-tolerance mechanism.
+  Skip-gram gradients are sparse (one ``W_in`` row and ``k+1`` ``W_out``
+  rows per example), so noise is injected only into the rows that are
+  actually non-zero, calibrated with sensitivity ``C`` (one clipped example
+  per touched row in the worst case).
+
+The contrast between the two is the ablation of Table VI.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TrainingError
+from ..privacy.mechanisms import clip_gradient
+from ..utils.rng import ensure_rng
+from .objectives import PairGradients
+
+__all__ = [
+    "PerturbedBatchGradients",
+    "PerturbationStrategy",
+    "NaivePerturbation",
+    "NonZeroPerturbation",
+    "get_perturbation",
+]
+
+
+@dataclass
+class PerturbedBatchGradients:
+    """Noisy batch gradients for both skip-gram matrices.
+
+    ``w_in_gradient`` and ``w_out_gradient`` are dense *summed* (not yet
+    averaged) gradients of the same shape as the model parameters; rows not
+    touched by the batch are zero in the non-zero strategy and noisy in the
+    naive strategy.  ``w_in_counts`` / ``w_out_counts`` record how many
+    examples touched each row, so the trainer can choose its normalisation
+    (divide by the batch size as in the paper's Eq. 9, or per-row counts).
+    """
+
+    w_in_gradient: np.ndarray
+    w_out_gradient: np.ndarray
+    w_in_counts: np.ndarray
+    w_out_counts: np.ndarray
+    batch_size: int
+    mean_loss: float
+
+    def averaged_by_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eq. (9) normalisation: divide both sums by the batch size ``B``."""
+        return self.w_in_gradient / self.batch_size, self.w_out_gradient / self.batch_size
+
+    def averaged_by_row_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row normalisation: divide each row by the number of examples touching it.
+
+        Rows touched by no example keep their value (zero for the non-zero
+        strategy; pure noise for the naive strategy — which is exactly the
+        penalty the naive strategy pays).
+        """
+        in_div = np.maximum(self.w_in_counts, 1.0)[:, None]
+        out_div = np.maximum(self.w_out_counts, 1.0)[:, None]
+        return self.w_in_gradient / in_div, self.w_out_gradient / out_div
+
+
+class PerturbationStrategy(abc.ABC):
+    """Base class: clip, aggregate, noise, and average per-example gradients.
+
+    Parameters
+    ----------
+    clipping_threshold:
+        Per-example ℓ2 clipping threshold ``C``.
+    noise_multiplier:
+        Gaussian noise multiplier ``σ``; the injected noise std is
+        ``σ · sensitivity``.
+    seed:
+        Seed or generator for the noise draws.
+    """
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        clipping_threshold: float,
+        noise_multiplier: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if clipping_threshold <= 0:
+            raise ConfigurationError(
+                f"clipping_threshold must be positive, got {clipping_threshold}"
+            )
+        if noise_multiplier <= 0:
+            raise ConfigurationError(
+                f"noise_multiplier must be positive, got {noise_multiplier}"
+            )
+        self.clipping_threshold = float(clipping_threshold)
+        self.noise_multiplier = float(noise_multiplier)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def perturb(
+        self,
+        example_gradients: list[PairGradients],
+        num_nodes: int,
+        embedding_dim: int,
+    ) -> PerturbedBatchGradients:
+        """Clip each example, aggregate over the batch, add noise, and average."""
+        if not example_gradients:
+            raise TrainingError("example_gradients must not be empty")
+        batch_size = len(example_gradients)
+
+        w_in_sum = np.zeros((num_nodes, embedding_dim))
+        w_out_sum = np.zeros((num_nodes, embedding_dim))
+        w_in_counts = np.zeros(num_nodes)
+        w_out_counts = np.zeros(num_nodes)
+        touched_in: set[int] = set()
+        touched_out: set[int] = set()
+        total_loss = 0.0
+
+        for example in example_gradients:
+            clipped_center = clip_gradient(example.center_gradient, self.clipping_threshold)
+            w_in_sum[example.center] += clipped_center
+            w_in_counts[example.center] += 1
+            touched_in.add(int(example.center))
+
+            clipped_context = self._clip_context_rows(example.context_gradients)
+            np.add.at(w_out_sum, example.context_nodes, clipped_context)
+            np.add.at(w_out_counts, example.context_nodes, 1)
+            touched_out.update(int(n) for n in example.context_nodes)
+
+            total_loss += example.loss
+
+        w_in_noisy = self._add_noise(w_in_sum, sorted(touched_in), batch_size)
+        w_out_noisy = self._add_noise(w_out_sum, sorted(touched_out), batch_size)
+
+        return PerturbedBatchGradients(
+            w_in_gradient=w_in_noisy,
+            w_out_gradient=w_out_noisy,
+            w_in_counts=w_in_counts,
+            w_out_counts=w_out_counts,
+            batch_size=batch_size,
+            mean_loss=total_loss / batch_size,
+        )
+
+    def _clip_context_rows(self, context_gradients: np.ndarray) -> np.ndarray:
+        """Clip the joint (k+1)-row context gradient of one example to norm C."""
+        return clip_gradient(context_gradients, self.clipping_threshold)
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def sensitivity(self, batch_size: int) -> float:
+        """The ℓ2 sensitivity used to calibrate the injected noise."""
+
+    @abc.abstractmethod
+    def _add_noise(
+        self, gradient_sum: np.ndarray, touched_rows: list[int], batch_size: int
+    ) -> np.ndarray:
+        """Inject Gaussian noise into the summed gradient and return it."""
+
+
+class NaivePerturbation(PerturbationStrategy):
+    """Eq. (6): dense noise with batch-level sensitivity ``B · C``."""
+
+    name = "naive"
+
+    def sensitivity(self, batch_size: int) -> float:
+        """Worst-case node-level sensitivity of the summed gradient: ``B·C``."""
+        if batch_size < 1:
+            raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+        return self.clipping_threshold * batch_size
+
+    def _add_noise(
+        self, gradient_sum: np.ndarray, touched_rows: list[int], batch_size: int
+    ) -> np.ndarray:
+        std = self.noise_multiplier * self.sensitivity(batch_size)
+        noise = self._rng.normal(0.0, std, size=gradient_sum.shape)
+        return gradient_sum + noise
+
+
+class NonZeroPerturbation(PerturbationStrategy):
+    """Eq. (9): noise only on non-zero gradient rows, sensitivity ``C``."""
+
+    name = "nonzero"
+
+    def sensitivity(self, batch_size: int) -> float:
+        """Per-row sensitivity of the non-zero rows: the clipping threshold ``C``."""
+        if batch_size < 1:
+            raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+        return self.clipping_threshold
+
+    def _add_noise(
+        self, gradient_sum: np.ndarray, touched_rows: list[int], batch_size: int
+    ) -> np.ndarray:
+        noisy = gradient_sum.copy()
+        if touched_rows:
+            std = self.noise_multiplier * self.sensitivity(batch_size)
+            rows = np.asarray(touched_rows, dtype=np.int64)
+            noise = self._rng.normal(0.0, std, size=(rows.size, gradient_sum.shape[1]))
+            noisy[rows] += noise
+        return noisy
+
+
+_STRATEGIES: dict[str, type[PerturbationStrategy]] = {
+    NaivePerturbation.name: NaivePerturbation,
+    NonZeroPerturbation.name: NonZeroPerturbation,
+}
+
+
+def get_perturbation(
+    name: str,
+    clipping_threshold: float,
+    noise_multiplier: float,
+    seed: int | np.random.Generator | None = None,
+) -> PerturbationStrategy:
+    """Instantiate a perturbation strategy by name (``"naive"`` or ``"nonzero"``)."""
+    key = name.strip().lower()
+    if key not in _STRATEGIES:
+        raise ConfigurationError(
+            f"unknown perturbation strategy {name!r}; available: {sorted(_STRATEGIES)}"
+        )
+    return _STRATEGIES[key](clipping_threshold, noise_multiplier, seed=seed)

@@ -1,0 +1,100 @@
+"""The skip-gram model: two embedding matrices and the operations on them.
+
+Figure 1 of the paper: the model holds an input (centre) matrix ``W_in`` of
+shape ``|V| × r`` and an output (context) matrix ``W_out`` of the same
+shape.  For a node pair ``(v_i, v_j)`` the score is the inner product of
+``W_in[i]`` and ``W_out[j]``; the published embedding is ``W_in``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..utils.rng import ensure_rng
+
+__all__ = ["SkipGramModel"]
+
+
+class SkipGramModel:
+    """Holds and updates the two skip-gram embedding matrices.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``|V|``.
+    embedding_dim:
+        Embedding dimension ``r``.
+    init_scale:
+        Uniform initialisation half-width; weights start in
+        ``[-init_scale, init_scale]`` (word2vec-style ``0.5 / r`` by default
+        when ``None``).
+    seed:
+        Seed or generator for the initialisation.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        embedding_dim: int,
+        init_scale: float | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+        if embedding_dim <= 0:
+            raise ConfigurationError(f"embedding_dim must be positive, got {embedding_dim}")
+        self.num_nodes = int(num_nodes)
+        self.embedding_dim = int(embedding_dim)
+        rng = ensure_rng(seed)
+        scale = float(init_scale) if init_scale is not None else 0.5 / self.embedding_dim
+        if scale <= 0:
+            raise ConfigurationError(f"init_scale must be positive, got {init_scale}")
+        self.w_in = rng.uniform(-scale, scale, size=(self.num_nodes, self.embedding_dim))
+        self.w_out = rng.uniform(-scale, scale, size=(self.num_nodes, self.embedding_dim))
+
+    # ------------------------------------------------------------------ #
+    def center_vector(self, node: int) -> np.ndarray:
+        """Return the centre (input) vector of ``node`` — a view, not a copy."""
+        return self.w_in[int(node)]
+
+    def context_vector(self, node: int) -> np.ndarray:
+        """Return the context (output) vector of ``node`` — a view, not a copy."""
+        return self.w_out[int(node)]
+
+    def score(self, center: int, context: int) -> float:
+        """Inner product ``v_i · v_j`` between a centre and a context vector."""
+        return float(self.w_in[int(center)] @ self.w_out[int(context)])
+
+    def scores(self, centers: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+        """Vectorised inner products for parallel centre/context index arrays."""
+        centers = np.asarray(centers, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        return np.einsum("ij,ij->i", self.w_in[centers], self.w_out[contexts])
+
+    def embeddings(self) -> np.ndarray:
+        """Return a copy of the published embedding matrix ``W_in``."""
+        return self.w_in.copy()
+
+    def apply_update(self, w_in_delta: np.ndarray, w_out_delta: np.ndarray) -> None:
+        """Add dense deltas to both matrices (used by the trainers)."""
+        if w_in_delta.shape != self.w_in.shape or w_out_delta.shape != self.w_out.shape:
+            raise ConfigurationError(
+                "update shapes do not match the model: "
+                f"{w_in_delta.shape} / {w_out_delta.shape} vs {self.w_in.shape}"
+            )
+        self.w_in += w_in_delta
+        self.w_out += w_out_delta
+
+    def copy(self) -> "SkipGramModel":
+        """Return a deep copy of the model (used to snapshot non-private baselines)."""
+        clone = SkipGramModel(self.num_nodes, self.embedding_dim, init_scale=1e-6, seed=0)
+        clone.w_in = self.w_in.copy()
+        clone.w_out = self.w_out.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"SkipGramModel(num_nodes={self.num_nodes}, "
+            f"embedding_dim={self.embedding_dim})"
+        )

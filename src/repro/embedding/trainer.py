@@ -1,0 +1,177 @@
+"""Non-private structure-preference skip-gram trainer (SE-GEmb).
+
+SE-GEmb\\ :sub:`DW` / SE-GEmb\\ :sub:`Deg` are the non-private counterparts
+the paper uses as utility upper bounds in Figures 3 and 4.  The trainer
+optimises the same structure-preference objective (Eq. 5) over the same
+edge-subgraph batches, but applies the exact (un-clipped, un-noised) batch
+gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import TrainingError
+from ..graph import Graph
+from ..graph.sampling import (
+    EdgeSubgraph,
+    ProximityNegativeSampler,
+    SubgraphSampler,
+    UnigramNegativeSampler,
+    generate_disjoint_subgraphs,
+)
+from ..proximity.base import ProximityMatrix, ProximityMeasure
+from ..utils.logging import get_logger
+from ..utils.rng import ensure_rng
+from .objectives import StructurePreferenceObjective
+from .optimizer import SGDOptimizer
+from .skipgram import SkipGramModel
+
+__all__ = ["EmbeddingResult", "SEGEmbTrainer"]
+
+_LOGGER = get_logger("embedding.trainer")
+
+
+@dataclass
+class EmbeddingResult:
+    """Output of a (non-private) training run."""
+
+    embeddings: np.ndarray
+    context_embeddings: np.ndarray
+    losses: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last completed epoch (NaN if no epoch ran)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class SEGEmbTrainer:
+    """Train structure-preference skip-gram embeddings without privacy.
+
+    Parameters
+    ----------
+    graph:
+        Training graph.
+    proximity:
+        Either a :class:`ProximityMeasure` (computed on ``graph`` lazily) or
+        an already-computed :class:`ProximityMatrix`.
+    config:
+        Training hyper-parameters.
+    negative_sampling:
+        ``"proximity"`` (default) uses the Theorem-3 sampler — the same one
+        SE-PrivGEmb uses, making this trainer its exact non-private
+        counterpart.  ``"unigram"`` uses the degree^0.75 word2vec sampler of
+        the prior skip-gram methods (the comparison point of Section IV-B).
+    seed:
+        Master seed controlling initialisation, sampling and shuffling.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        proximity: ProximityMeasure | ProximityMatrix,
+        config: TrainingConfig | None = None,
+        negative_sampling: str = "proximity",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if graph.num_edges == 0:
+            raise TrainingError("cannot train on a graph with no edges")
+        if negative_sampling not in {"proximity", "unigram"}:
+            raise TrainingError(
+                f"negative_sampling must be 'proximity' or 'unigram', got {negative_sampling!r}"
+            )
+        self.graph = graph
+        self.config = config or TrainingConfig()
+        self._rng = ensure_rng(seed if seed is not None else self.config.seed)
+
+        if isinstance(proximity, ProximityMatrix):
+            self.proximity_matrix = proximity
+        else:
+            self.proximity_matrix = proximity.compute(graph)
+        self.objective = StructurePreferenceObjective(self.proximity_matrix)
+
+        self.model = SkipGramModel(
+            graph.num_nodes, self.config.embedding_dim, seed=self._rng
+        )
+        self.optimizer = SGDOptimizer(self.config.learning_rate)
+
+        if negative_sampling == "proximity":
+            negative_sampler = ProximityNegativeSampler(
+                graph,
+                proximity_row_sums=self.proximity_matrix.row_sums,
+                min_positive_proximity=max(self.proximity_matrix.min_positive, 1e-12),
+                seed=self._rng,
+            )
+        else:
+            negative_sampler = UnigramNegativeSampler(graph, seed=self._rng)
+        self._subgraphs: list[EdgeSubgraph] = generate_disjoint_subgraphs(
+            graph, negative_sampler, self.config.negative_samples
+        )
+        self._sampler = SubgraphSampler(
+            self._subgraphs, self.config.batch_size, seed=self._rng
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def sampling_rate(self) -> float:
+        """``B / |GS|`` — exposed for parity with the private trainer."""
+        return self._sampler.sampling_rate
+
+    def train(self, epochs: int | None = None) -> EmbeddingResult:
+        """Run training for ``epochs`` (default: ``config.epochs``) and return embeddings."""
+        epochs = int(epochs) if epochs is not None else self.config.epochs
+        if epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {epochs}")
+        losses: list[float] = []
+        for epoch in range(epochs):
+            batch = self._sampler.sample_batch()
+            loss = self._train_step(batch)
+            losses.append(loss)
+            self.optimizer.step_epoch()
+            if (epoch + 1) % max(1, epochs // 10) == 0:
+                _LOGGER.debug("epoch %d/%d loss=%.5f", epoch + 1, epochs, loss)
+        return EmbeddingResult(
+            embeddings=self.model.embeddings(),
+            context_embeddings=self.model.w_out.copy(),
+            losses=losses,
+            epochs_run=epochs,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _train_step(self, batch: list[EdgeSubgraph]) -> float:
+        """One (non-private) SGD step over a batch of edge subgraphs.
+
+        Each example contributes a full-strength update to the rows it
+        touches (classic word2vec-style SGD); since every example touches a
+        distinct centre row almost surely, this is equivalent to running the
+        batch as ``B`` consecutive per-pair SGD steps.
+        """
+        w_in, w_out = self.model.w_in, self.model.w_out
+        batch_size = len(batch)
+        total_loss = 0.0
+
+        center_rows: list[int] = []
+        center_grads: list[np.ndarray] = []
+        context_rows: list[np.ndarray] = []
+        context_grads: list[np.ndarray] = []
+
+        for subgraph in batch:
+            grads = self.objective.example_gradients(w_in, w_out, subgraph)
+            total_loss += grads.loss
+            center_rows.append(grads.center)
+            center_grads.append(grads.center_gradient)
+            context_rows.append(grads.context_nodes)
+            context_grads.append(grads.context_gradients)
+
+        self.optimizer.descend_rows(
+            w_in, np.asarray(center_rows, dtype=np.int64), np.vstack(center_grads)
+        )
+        self.optimizer.descend_rows(
+            w_out, np.concatenate(context_rows), np.vstack(context_grads)
+        )
+        return total_loss / batch_size

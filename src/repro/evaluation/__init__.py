@@ -1,0 +1,16 @@
+"""Downstream evaluation tasks: structural equivalence and link prediction."""
+
+from .metrics import pearson_correlation, roc_auc_score
+from .splits import LinkPredictionSplit, make_link_prediction_split
+from .structural_equivalence import structural_equivalence_score
+from .link_prediction import link_prediction_auc, score_edges
+
+__all__ = [
+    "pearson_correlation",
+    "roc_auc_score",
+    "LinkPredictionSplit",
+    "make_link_prediction_split",
+    "structural_equivalence_score",
+    "link_prediction_auc",
+    "score_edges",
+]

@@ -1,0 +1,64 @@
+"""Link-prediction evaluation (AUC over held-out edges, Section VI-A).
+
+The downstream scorer follows the standard unsupervised protocol for
+embedding methods: a candidate pair ``(u, v)`` is scored by a similarity of
+its two embedding vectors, and AUC is computed over the balanced test set of
+held-out edges and sampled non-edges.  Three similarity functions are
+provided; the default (dot product) matches what skip-gram optimises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from .metrics import roc_auc_score
+from .splits import LinkPredictionSplit
+
+__all__ = ["score_edges", "link_prediction_auc"]
+
+_SCORERS = ("dot", "cosine", "negative_euclidean")
+
+
+def score_edges(
+    embeddings: np.ndarray,
+    pairs: np.ndarray,
+    scorer: str = "dot",
+) -> np.ndarray:
+    """Score candidate node pairs from their embedding vectors.
+
+    Parameters
+    ----------
+    embeddings:
+        ``|V| × r`` embedding matrix.
+    pairs:
+        ``(m, 2)`` array of node index pairs.
+    scorer:
+        ``"dot"`` (inner product), ``"cosine"`` or ``"negative_euclidean"``.
+    """
+    embeddings = np.asarray(embeddings, dtype=float)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise EvaluationError(f"pairs must have shape (m, 2), got {pairs.shape}")
+    if scorer not in _SCORERS:
+        raise EvaluationError(f"unknown scorer {scorer!r}; available: {_SCORERS}")
+    left = embeddings[pairs[:, 0]]
+    right = embeddings[pairs[:, 1]]
+    if scorer == "dot":
+        return np.einsum("ij,ij->i", left, right)
+    if scorer == "cosine":
+        norms = np.linalg.norm(left, axis=1) * np.linalg.norm(right, axis=1)
+        norms = np.maximum(norms, 1e-12)
+        return np.einsum("ij,ij->i", left, right) / norms
+    return -np.linalg.norm(left - right, axis=1)
+
+
+def link_prediction_auc(
+    embeddings: np.ndarray,
+    split: LinkPredictionSplit,
+    scorer: str = "dot",
+) -> float:
+    """AUC of the embedding on the held-out test pairs of a split."""
+    labels, pairs = split.test_labels_and_pairs()
+    scores = score_edges(embeddings, pairs, scorer=scorer)
+    return roc_auc_score(labels, scores)

@@ -1,0 +1,58 @@
+"""Evaluation metrics: Pearson correlation and ROC AUC.
+
+Both are implemented directly (no sklearn dependency): Pearson as the
+normalised covariance, AUC via the rank-sum (Mann–Whitney U) formulation
+with proper tie handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import EvaluationError
+
+__all__ = ["pearson_correlation", "roc_auc_score"]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient between two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (the correlation is undefined
+    there; 0 is the conventional fallback for structural-equivalence scoring
+    of degenerate embeddings).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise EvaluationError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise EvaluationError("need at least two observations for a correlation")
+    if np.std(x) == 0.0 or np.std(y) == 0.0:
+        return 0.0
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = float(np.sqrt(np.sum(xc**2) * np.sum(yc**2)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(xc * yc) / denom)
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann–Whitney U statistic.
+
+    ``labels`` must contain both classes (0 and 1); ties in ``scores`` are
+    handled through average ranks.
+    """
+    labels = np.asarray(labels, dtype=int).ravel()
+    scores = np.asarray(scores, dtype=float).ravel()
+    if labels.shape != scores.shape:
+        raise EvaluationError(f"length mismatch: {labels.shape} vs {scores.shape}")
+    positives = int(np.sum(labels == 1))
+    negatives = int(np.sum(labels == 0))
+    if positives == 0 or negatives == 0:
+        raise EvaluationError("roc_auc_score needs both positive and negative labels")
+    ranks = stats.rankdata(scores)
+    rank_sum_positive = float(np.sum(ranks[labels == 1]))
+    u_statistic = rank_sum_positive - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses exist for
+the three broad areas where user input is validated: graph construction,
+privacy accounting, and model training/configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be built or loaded."""
+
+
+class ProximityError(ReproError):
+    """Raised when a proximity matrix cannot be computed or is invalid."""
+
+
+class PrivacyError(ReproError):
+    """Raised for invalid privacy parameters or exhausted budgets."""
+
+
+class PrivacyBudgetExhausted(PrivacyError):
+    """Raised when an operation would exceed the configured privacy budget."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a training or experiment configuration is invalid."""
+
+
+class TrainingError(ReproError):
+    """Raised when model training fails or is used incorrectly."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation task receives inconsistent inputs."""

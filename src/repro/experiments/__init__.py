@@ -1,0 +1,39 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from .configs import ExperimentSettings, PAPER_EPSILONS, PAPER_METHODS
+from .results import ExperimentResult, ResultTable
+from .runner import embed_with_method, evaluate_structural_equivalence, evaluate_link_prediction
+from .tables import (
+    table_batch_size,
+    table_learning_rate,
+    table_clipping,
+    table_negative_samples,
+    table_perturbation,
+)
+from .figures import figure_structural_equivalence, figure_link_prediction
+from .ablations import (
+    ablation_iterate_averaging,
+    ablation_gradient_normalization,
+    ablation_negative_sampling,
+)
+
+__all__ = [
+    "ablation_iterate_averaging",
+    "ablation_gradient_normalization",
+    "ablation_negative_sampling",
+    "ExperimentSettings",
+    "PAPER_EPSILONS",
+    "PAPER_METHODS",
+    "ExperimentResult",
+    "ResultTable",
+    "embed_with_method",
+    "evaluate_structural_equivalence",
+    "evaluate_link_prediction",
+    "table_batch_size",
+    "table_learning_rate",
+    "table_clipping",
+    "table_negative_samples",
+    "table_perturbation",
+    "figure_structural_equivalence",
+    "figure_link_prediction",
+]

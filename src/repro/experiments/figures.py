@@ -1,0 +1,107 @@
+"""Reproductions of Figures 3 and 4: utility versus privacy budget.
+
+Figure 3 sweeps ε over all eight methods and reports StrucEqu per dataset;
+Figure 4 does the same with link-prediction AUC.  The functions return
+:class:`ResultTable` objects with one row per (dataset, method, ε) — the
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import load_dataset
+from .configs import ExperimentSettings, PAPER_METHODS
+from .results import ResultTable
+from .runner import (
+    evaluate_link_prediction,
+    evaluate_structural_equivalence,
+    is_private_method,
+)
+
+__all__ = ["figure_structural_equivalence", "figure_link_prediction"]
+
+
+def _figure_sweep(
+    settings: ExperimentSettings,
+    methods: Sequence[str],
+    title: str,
+    metric_name: str,
+    evaluate,
+) -> ResultTable:
+    table = ResultTable(title)
+    for dataset_name in settings.datasets:
+        graph = load_dataset(dataset_name, scale=settings.dataset_scale, seed=settings.seed)
+        for method in methods:
+            # Non-private methods do not depend on ε; evaluate them once and
+            # replicate the value across the sweep (flat lines in the figure).
+            if not is_private_method(method):
+                mean, std = evaluate(
+                    method, graph, settings.training, settings.privacy, settings
+                )
+                for epsilon in settings.epsilons:
+                    table.add_row(
+                        {
+                            "dataset": dataset_name,
+                            "method": method,
+                            "epsilon": float(epsilon),
+                            f"{metric_name}_mean": mean,
+                            f"{metric_name}_std": std,
+                        }
+                    )
+                continue
+            for epsilon in settings.epsilons:
+                privacy = settings.privacy.with_epsilon(float(epsilon))
+                mean, std = evaluate(method, graph, settings.training, privacy, settings)
+                table.add_row(
+                    {
+                        "dataset": dataset_name,
+                        "method": method,
+                        "epsilon": float(epsilon),
+                        f"{metric_name}_mean": mean,
+                        f"{metric_name}_std": std,
+                    }
+                )
+    return table
+
+
+def figure_structural_equivalence(
+    settings: ExperimentSettings | None = None,
+    methods: Sequence[str] = PAPER_METHODS,
+) -> ResultTable:
+    """Figure 3: StrucEqu versus privacy budget ε for every method and dataset."""
+    settings = settings or ExperimentSettings()
+
+    def evaluate(method, graph, training, privacy, s):
+        return evaluate_structural_equivalence(
+            method, graph, training, privacy, repeats=s.repeats, seed=s.seed
+        )
+
+    return _figure_sweep(
+        settings,
+        methods,
+        "Figure 3: StrucEqu vs privacy budget",
+        "strucequ",
+        evaluate,
+    )
+
+
+def figure_link_prediction(
+    settings: ExperimentSettings | None = None,
+    methods: Sequence[str] = PAPER_METHODS,
+) -> ResultTable:
+    """Figure 4: link-prediction AUC versus privacy budget ε."""
+    settings = settings or ExperimentSettings()
+
+    def evaluate(method, graph, training, privacy, s):
+        return evaluate_link_prediction(
+            method, graph, training, privacy, repeats=s.repeats, seed=s.seed
+        )
+
+    return _figure_sweep(
+        settings,
+        methods,
+        "Figure 4: link-prediction AUC vs privacy budget",
+        "auc",
+        evaluate,
+    )

@@ -1,0 +1,160 @@
+"""The method runner: map a method name + graph + budget to embeddings and scores.
+
+This is the glue between the library and the table/figure reproductions.
+``embed_with_method`` dispatches over the eight methods of the paper's
+evaluation:
+
+* ``se_privgemb_dw`` / ``se_privgemb_deg`` — the proposed method with the
+  DeepWalk / degree proximity,
+* ``se_gemb_dw`` / ``se_gemb_deg`` — their non-private counterparts,
+* ``dpggan``, ``dpgvae``, ``gap``, ``progap`` — the DP baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import PrivacyConfig, TrainingConfig
+from ..baselines import get_baseline
+from ..evaluation import (
+    link_prediction_auc,
+    make_link_prediction_split,
+    structural_equivalence_score,
+)
+from ..exceptions import ConfigurationError
+from ..embedding import SEGEmbTrainer, SEPrivGEmbTrainer
+from ..graph import Graph
+from ..proximity import DeepWalkProximity, DegreeProximity
+from ..utils.stats import summarize_runs
+
+__all__ = [
+    "METHOD_NAMES",
+    "embed_with_method",
+    "evaluate_structural_equivalence",
+    "evaluate_link_prediction",
+]
+
+METHOD_NAMES: tuple[str, ...] = (
+    "se_privgemb_dw",
+    "se_privgemb_deg",
+    "se_gemb_dw",
+    "se_gemb_deg",
+    "dpggan",
+    "dpgvae",
+    "gap",
+    "progap",
+)
+
+_PRIVATE_METHODS = {"se_privgemb_dw", "se_privgemb_deg", "dpggan", "dpgvae", "gap", "progap"}
+
+
+def _proximity_for(method: str, deepwalk_window: int = 5):
+    if method.endswith("_dw"):
+        return DeepWalkProximity(window_size=deepwalk_window)
+    if method.endswith("_deg"):
+        return DegreeProximity()
+    raise ConfigurationError(f"method {method!r} has no proximity suffix")
+
+
+def embed_with_method(
+    method: str,
+    graph: Graph,
+    training: TrainingConfig,
+    privacy: PrivacyConfig,
+    seed: int | np.random.Generator | None = None,
+    perturbation: str = "nonzero",
+) -> np.ndarray:
+    """Produce an embedding matrix for ``graph`` with the named method.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHOD_NAMES`.
+    graph:
+        The (training) graph.
+    training / privacy:
+        Hyper-parameters; ``privacy`` is ignored by the non-private methods.
+    seed:
+        Seed or generator for the run.
+    perturbation:
+        Perturbation strategy for the SE-PrivGEmb variants ("nonzero" or
+        "naive"); ignored by every other method.
+    """
+    key = method.strip().lower()
+    if key not in METHOD_NAMES:
+        raise ConfigurationError(
+            f"unknown method {method!r}; available: {', '.join(METHOD_NAMES)}"
+        )
+
+    if key in {"se_privgemb_dw", "se_privgemb_deg"}:
+        trainer = SEPrivGEmbTrainer(
+            graph,
+            _proximity_for(key),
+            training_config=training,
+            privacy_config=privacy,
+            perturbation=perturbation,
+            seed=seed,
+        )
+        return trainer.train().embeddings
+
+    if key in {"se_gemb_dw", "se_gemb_deg"}:
+        trainer = SEGEmbTrainer(graph, _proximity_for(key), config=training, seed=seed)
+        return trainer.train().embeddings
+
+    baseline = get_baseline(key, training_config=training, privacy_config=privacy, seed=seed)
+    return baseline.fit(graph)
+
+
+def is_private_method(method: str) -> bool:
+    """Return ``True`` if the method consumes the privacy budget."""
+    return method.strip().lower() in _PRIVATE_METHODS
+
+
+def evaluate_structural_equivalence(
+    method: str,
+    graph: Graph,
+    training: TrainingConfig,
+    privacy: PrivacyConfig,
+    repeats: int = 3,
+    seed: int = 0,
+    perturbation: str = "nonzero",
+) -> tuple[float, float]:
+    """Mean ± SD StrucEqu of a method over repeated runs on one graph."""
+    scores = []
+    for repeat in range(repeats):
+        embeddings = embed_with_method(
+            method, graph, training, privacy, seed=seed + repeat, perturbation=perturbation
+        )
+        scores.append(structural_equivalence_score(graph, embeddings, seed=seed + repeat))
+    summary = summarize_runs(scores)
+    return summary.mean, summary.std
+
+
+def evaluate_link_prediction(
+    method: str,
+    graph: Graph,
+    training: TrainingConfig,
+    privacy: PrivacyConfig,
+    repeats: int = 3,
+    seed: int = 0,
+    perturbation: str = "nonzero",
+) -> tuple[float, float]:
+    """Mean ± SD link-prediction AUC of a method over repeated runs on one graph.
+
+    Each repetition draws a fresh 90/10 split, trains on the training graph
+    only, and scores the held-out pairs with the dot-product scorer.
+    """
+    scores = []
+    for repeat in range(repeats):
+        split = make_link_prediction_split(graph, seed=seed + repeat)
+        embeddings = embed_with_method(
+            method,
+            split.training_graph,
+            training,
+            privacy,
+            seed=seed + repeat,
+            perturbation=perturbation,
+        )
+        scores.append(link_prediction_auc(embeddings, split))
+    summary = summarize_runs(scores)
+    return summary.mean, summary.std

@@ -1,0 +1,273 @@
+"""Synthetic graph generators.
+
+The paper evaluates on six public networks (Chameleon, PPI, Power, Arxiv,
+BlogCatalog, DBLP).  Those downloads are not available offline, so the
+dataset registry in :mod:`repro.graph.datasets` builds synthetic stand-ins
+from the generators below, each matching the topology family of the original
+(dense scale-free web graph, power-law biological network, sparse
+quasi-planar grid, collaboration network, dense social network, large sparse
+citation network).
+
+All generators return :class:`repro.graph.Graph` instances, take an explicit
+``rng``/``seed`` and never touch global random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..utils.rng import ensure_rng
+from .graph import Graph
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "stochastic_block_model_graph",
+    "grid_with_rewiring_graph",
+]
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: int | np.random.Generator | None = None,
+    name: str = "erdos-renyi",
+) -> Graph:
+    """G(n, p) random graph.
+
+    Every unordered pair is an edge independently with probability
+    ``edge_probability``.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = ensure_rng(seed)
+    iu, ju = np.triu_indices(num_nodes, k=1)
+    mask = rng.random(iu.shape[0]) < edge_probability
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return Graph(num_nodes, edges, name=name)
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    seed: int | np.random.Generator | None = None,
+    name: str = "barabasi-albert",
+) -> Graph:
+    """Preferential-attachment (scale-free) graph.
+
+    Each new node attaches to ``edges_per_node`` existing nodes with
+    probability proportional to their current degree.  Produces the heavy
+    tailed degree distributions typical of web and social networks
+    (Chameleon, BlogCatalog).
+    """
+    m = int(edges_per_node)
+    if m < 1:
+        raise GraphError(f"edges_per_node must be >= 1, got {m}")
+    if num_nodes <= m:
+        raise GraphError(
+            f"num_nodes ({num_nodes}) must exceed edges_per_node ({m})"
+        )
+    rng = ensure_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # repeated-node list implements preferential attachment in O(1) per draw
+    repeated: list[int] = []
+    targets = list(range(m))
+    for new_node in range(m, num_nodes):
+        chosen: set[int] = set()
+        for t in targets:
+            edges.append((new_node, t))
+            chosen.add(t)
+        repeated.extend(chosen)
+        repeated.extend([new_node] * len(chosen))
+        targets = []
+        while len(targets) < m:
+            candidate = int(repeated[int(rng.integers(0, len(repeated)))])
+            if candidate not in targets and candidate != new_node:
+                targets.append(candidate)
+    return Graph(num_nodes, edges, name=name)
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    neighbors: int,
+    rewire_probability: float,
+    seed: int | np.random.Generator | None = None,
+    name: str = "watts-strogatz",
+) -> Graph:
+    """Small-world ring lattice with random rewiring.
+
+    Starts from a ring where every node connects to its ``neighbors`` nearest
+    nodes (must be even) and rewires each edge with the given probability.
+    """
+    k = int(neighbors)
+    if k % 2 != 0 or k < 2:
+        raise GraphError(f"neighbors must be a positive even integer, got {k}")
+    if k >= num_nodes:
+        raise GraphError(f"neighbors ({k}) must be smaller than num_nodes ({num_nodes})")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = ensure_rng(seed)
+    edge_set: set[tuple[int, int]] = set()
+    for u in range(num_nodes):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % num_nodes
+            edge_set.add((min(u, v), max(u, v)))
+    edges = list(edge_set)
+    rewired: set[tuple[int, int]] = set()
+    for u, v in edges:
+        if rng.random() < rewire_probability:
+            for _ in range(50):
+                w = int(rng.integers(0, num_nodes))
+                key = (min(u, w), max(u, w))
+                if w != u and key not in rewired and key not in edge_set:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    return Graph(num_nodes, list(rewired), name=name)
+
+
+def powerlaw_cluster_graph(
+    num_nodes: int,
+    edges_per_node: int,
+    triangle_probability: float,
+    seed: int | np.random.Generator | None = None,
+    name: str = "powerlaw-cluster",
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triangle is closed with probability ``triangle_probability``.  This is
+    the regime of protein-interaction and collaboration networks (PPI,
+    Arxiv).
+    """
+    m = int(edges_per_node)
+    if m < 1:
+        raise GraphError(f"edges_per_node must be >= 1, got {m}")
+    if num_nodes <= m:
+        raise GraphError(f"num_nodes ({num_nodes}) must exceed edges_per_node ({m})")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    rng = ensure_rng(seed)
+    edge_set: set[tuple[int, int]] = set()
+    neighbors: list[set[int]] = [set() for _ in range(num_nodes)]
+    repeated: list[int] = list(range(m))
+
+    def add_edge(u: int, v: int) -> None:
+        if u == v:
+            return
+        key = (min(u, v), max(u, v))
+        if key in edge_set:
+            return
+        edge_set.add(key)
+        neighbors[u].add(v)
+        neighbors[v].add(u)
+
+    for new_node in range(m, num_nodes):
+        first_target = int(repeated[int(rng.integers(0, len(repeated)))])
+        added: set[int] = set()
+        target = first_target
+        for _ in range(m):
+            add_edge(new_node, target)
+            added.add(target)
+            close_triangle = rng.random() < triangle_probability and neighbors[target]
+            if close_triangle:
+                candidates = [w for w in neighbors[target] if w != new_node and w not in added]
+                if candidates:
+                    tri = int(candidates[int(rng.integers(0, len(candidates)))])
+                    add_edge(new_node, tri)
+                    added.add(tri)
+            target = int(repeated[int(rng.integers(0, len(repeated)))])
+        repeated.extend(added)
+        repeated.extend([new_node] * max(1, len(added)))
+    return Graph(num_nodes, list(edge_set), name=name)
+
+
+def stochastic_block_model_graph(
+    block_sizes: list[int],
+    intra_probability: float,
+    inter_probability: float,
+    seed: int | np.random.Generator | None = None,
+    name: str = "sbm",
+) -> Graph:
+    """Stochastic block model with uniform intra/inter-block probabilities.
+
+    Used as a community-structured stand-in (DBLP-like scholarly network at
+    reduced scale).
+    """
+    if not block_sizes or any(size <= 0 for size in block_sizes):
+        raise GraphError(f"block_sizes must be positive, got {block_sizes}")
+    for p, label in ((intra_probability, "intra"), (inter_probability, "inter")):
+        if not 0.0 <= p <= 1.0:
+            raise GraphError(f"{label}_probability must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    num_nodes = int(sum(block_sizes))
+    labels = np.repeat(np.arange(len(block_sizes)), block_sizes)
+    iu, ju = np.triu_indices(num_nodes, k=1)
+    same_block = labels[iu] == labels[ju]
+    probs = np.where(same_block, intra_probability, inter_probability)
+    mask = rng.random(iu.shape[0]) < probs
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return Graph(num_nodes, edges, name=name)
+
+
+def grid_with_rewiring_graph(
+    rows: int,
+    cols: int,
+    rewire_probability: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    name: str = "grid",
+) -> Graph:
+    """2-D lattice with optional random rewiring.
+
+    Approximates infrastructure networks such as the western-US power grid
+    (sparse, quasi-planar, near-constant degree).
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError(f"rows and cols must be positive, got {rows}x{cols}")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = ensure_rng(seed)
+    num_nodes = rows * cols
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    edge_set: set[tuple[int, int]] = set()
+    for r in range(rows):
+        for c in range(cols):
+            u = node_id(r, c)
+            if c + 1 < cols:
+                v = node_id(r, c + 1)
+                edge_set.add((min(u, v), max(u, v)))
+            if r + 1 < rows:
+                v = node_id(r + 1, c)
+                edge_set.add((min(u, v), max(u, v)))
+
+    if rewire_probability > 0 and num_nodes > 2:
+        final: set[tuple[int, int]] = set()
+        for u, v in edge_set:
+            if rng.random() < rewire_probability:
+                for _ in range(50):
+                    w = int(rng.integers(0, num_nodes))
+                    key = (min(u, w), max(u, w))
+                    if w != u and key not in final and key not in edge_set:
+                        final.add(key)
+                        break
+                else:
+                    final.add((u, v))
+            else:
+                final.add((u, v))
+        edge_set = final
+    return Graph(num_nodes, list(edge_set), name=name)

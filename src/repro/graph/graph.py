@@ -1,0 +1,298 @@
+"""An undirected, unweighted, simple graph held in memory.
+
+The paper's algorithms only ever need three views of a graph:
+
+* the edge list (to enumerate positive skip-gram pairs),
+* per-node neighbour sets (for negative sampling and proximities),
+* the adjacency matrix (for structural-equivalence evaluation and the
+  matrix-based proximities).
+
+:class:`Graph` provides all three with O(1) edge membership tests and a
+sparse CSR adjacency.  Nodes are integers ``0 .. n-1``; helper constructors
+relabel arbitrary hashable node identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected, unweighted simple graph on nodes ``0 .. num_nodes - 1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Nodes without incident edges are allowed.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected and duplicate
+        edges (including ``(v, u)`` mirrors) are collapsed.
+    name:
+        Optional human-readable name, used in reprs and experiment reports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        name: str = "graph",
+    ) -> None:
+        if num_nodes <= 0:
+            raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._name = name
+
+        edge_set: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {v}) is not allowed in a simple graph")
+            if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+                raise GraphError(
+                    f"edge ({u}, {v}) references a node outside [0, {self._num_nodes})"
+                )
+            edge_set.add((min(u, v), max(u, v)))
+
+        self._edges = np.array(sorted(edge_set), dtype=np.int64).reshape(-1, 2)
+        self._neighbors: list[np.ndarray] = [None] * self._num_nodes  # type: ignore[list-item]
+        self._build_neighbors()
+        self._adjacency: sparse.csr_matrix | None = None
+        self._edge_lookup = {(int(u), int(v)) for u, v in self._edges}
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[tuple[int, int]],
+        num_nodes: int | None = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph from an edge list, inferring ``num_nodes`` if omitted."""
+        if num_nodes is None:
+            if not edges:
+                raise GraphError("cannot infer num_nodes from an empty edge list")
+            num_nodes = int(max(max(u, v) for u, v in edges)) + 1
+        return cls(num_nodes, edges, name=name)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: np.ndarray | sparse.spmatrix, name: str = "graph") -> "Graph":
+        """Build a graph from a (dense or sparse) symmetric 0/1 adjacency matrix."""
+        adj = sparse.csr_matrix(adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got shape {adj.shape}")
+        coo = sparse.triu(adj, k=1).tocoo()
+        edges = list(zip(coo.row.tolist(), coo.col.tolist()))
+        return cls(adj.shape[0], edges, name=name)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str | None = None) -> "Graph":
+        """Convert a :class:`networkx.Graph`, relabelling nodes to ``0..n-1``."""
+        nodes = sorted(nx_graph.nodes())
+        index: Mapping[object, int] = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return cls(len(nodes), edges, name=name or "networkx-graph")
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable name of the graph."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(|E|, 2)`` array of edges with ``u < v`` in each row."""
+        return self._edges
+
+    @property
+    def density(self) -> float:
+        """Edge density ``2|E| / (|V| (|V|-1))``."""
+        n = self._num_nodes
+        if n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (n * (n - 1))
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree of every node as an ``int64`` array."""
+        deg = np.zeros(self._num_nodes, dtype=np.int64)
+        if self.num_edges:
+            np.add.at(deg, self._edges[:, 0], 1)
+            np.add.at(deg, self._edges[:, 1], 1)
+        return deg
+
+    def degree(self, node: int) -> int:
+        """Return the degree of a single node."""
+        self._check_node(node)
+        return int(len(self._neighbors[node]))
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Return the sorted neighbour array of ``node``."""
+        self._check_node(node)
+        return self._neighbors[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        if u == v:
+            return False
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        return key in self._edge_lookup
+
+    def adjacency_matrix(self, dense: bool = False) -> sparse.csr_matrix | np.ndarray:
+        """Return the symmetric adjacency matrix (CSR, or dense if requested)."""
+        if self._adjacency is None:
+            rows = np.concatenate([self._edges[:, 0], self._edges[:, 1]])
+            cols = np.concatenate([self._edges[:, 1], self._edges[:, 0]])
+            data = np.ones(rows.shape[0], dtype=np.float64)
+            self._adjacency = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(self._num_nodes, self._num_nodes)
+            )
+        if dense:
+            return np.asarray(self._adjacency.todense())
+        return self._adjacency
+
+    # ------------------------------------------------------------------ #
+    # graph-level operations
+    # ------------------------------------------------------------------ #
+    def subgraph_without_edges(self, removed: Iterable[tuple[int, int]], name: str | None = None) -> "Graph":
+        """Return a copy of the graph with the given edges removed.
+
+        Used by the link-prediction split, which hides 10% of edges from the
+        training graph.
+        """
+        removed_set = {(min(int(u), int(v)), max(int(u), int(v))) for u, v in removed}
+        kept = [
+            (int(u), int(v))
+            for u, v in self._edges
+            if (int(u), int(v)) not in removed_set
+        ]
+        return Graph(self._num_nodes, kept, name=name or f"{self._name}-pruned")
+
+    def with_extra_edges(self, added: Iterable[tuple[int, int]], name: str | None = None) -> "Graph":
+        """Return a copy of the graph with additional edges inserted."""
+        edges = [(int(u), int(v)) for u, v in self._edges]
+        edges.extend((int(u), int(v)) for u, v in added)
+        return Graph(self._num_nodes, edges, name=name or f"{self._name}-augmented")
+
+    def remove_node_edges(self, node: int, name: str | None = None) -> "Graph":
+        """Return a node-level neighbour of this graph.
+
+        Under bounded node-level DP, a neighbouring graph keeps the same node
+        set but replaces all edges incident to one node; the most adversarial
+        replacement for sensitivity analysis removes them entirely.
+        """
+        self._check_node(node)
+        kept = [
+            (int(u), int(v))
+            for u, v in self._edges
+            if int(u) != node and int(v) != node
+        ]
+        return Graph(self._num_nodes, kept, name=name or f"{self._name}-minus-{node}")
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Return connected components as arrays of node ids (largest first)."""
+        n_components, labels = sparse.csgraph.connected_components(
+            self.adjacency_matrix(), directed=False
+        )
+        components = [np.where(labels == c)[0] for c in range(n_components)]
+        components.sort(key=len, reverse=True)
+        return components
+
+    def non_edges_sample(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        exclude: Iterable[tuple[int, int]] | None = None,
+        max_attempts_factor: int = 200,
+    ) -> np.ndarray:
+        """Sample ``count`` distinct node pairs that are *not* edges.
+
+        Used to build negative examples for link prediction.  Raises
+        :class:`GraphError` if the graph is too dense to find enough
+        non-edges within a bounded number of attempts.
+        """
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        exclude_set = set()
+        if exclude is not None:
+            exclude_set = {
+                (min(int(u), int(v)), max(int(u), int(v))) for u, v in exclude
+            }
+        found: set[tuple[int, int]] = set()
+        attempts = 0
+        max_attempts = max(1, count) * max_attempts_factor
+        while len(found) < count and attempts < max_attempts:
+            attempts += 1
+            u = int(rng.integers(0, self._num_nodes))
+            v = int(rng.integers(0, self._num_nodes))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in self._edge_lookup or key in exclude_set or key in found:
+                continue
+            found.add(key)
+        if len(found) < count:
+            raise GraphError(
+                f"could only sample {len(found)} non-edges out of {count} requested"
+            )
+        return np.array(sorted(found), dtype=np.int64).reshape(-1, 2)
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._num_nodes))
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self._name!r}, num_nodes={self._num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._edges.shape == other._edges.shape
+            and bool(np.all(self._edges == other._edges))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing is enough
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_neighbors(self) -> None:
+        buckets: list[list[int]] = [[] for _ in range(self._num_nodes)]
+        for u, v in self._edges:
+            buckets[int(u)].append(int(v))
+            buckets[int(v)].append(int(u))
+        self._neighbors = [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= int(node) < self._num_nodes:
+            raise GraphError(f"node {node} is outside [0, {self._num_nodes})")

@@ -1,0 +1,130 @@
+"""Random-walk engine.
+
+DeepWalk-style uniform random walks are used in two places:
+
+* the *DeepWalk proximity* (random-walk co-occurrence counts) that the paper
+  fuses into SE-PrivGEmb\ :sub:`DW`,
+* the non-private DeepWalk-like corpus generation used by examples.
+
+The walker is deliberately simple (uniform transition over neighbours) but
+also supports node2vec-style ``p``/``q`` biased second-order walks, since
+node2vec is one of the skip-gram family methods discussed in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..utils.rng import ensure_rng
+from .graph import Graph
+
+__all__ = ["RandomWalker"]
+
+
+class RandomWalker:
+    """Generate random walks over a :class:`Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The graph to walk on.
+    walk_length:
+        Number of nodes in each walk (including the start node).
+    return_param / inout_param:
+        node2vec ``p`` and ``q`` parameters.  With the defaults (both 1.0)
+        walks are first-order uniform DeepWalk walks.
+    seed:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        walk_length: int = 40,
+        return_param: float = 1.0,
+        inout_param: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if walk_length < 1:
+            raise GraphError(f"walk_length must be >= 1, got {walk_length}")
+        if return_param <= 0 or inout_param <= 0:
+            raise GraphError("return_param and inout_param must be positive")
+        self.graph = graph
+        self.walk_length = int(walk_length)
+        self.return_param = float(return_param)
+        self.inout_param = float(inout_param)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def walk_from(self, start: int) -> list[int]:
+        """Generate a single walk starting at ``start``.
+
+        The walk stops early if it reaches a node with no neighbours.
+        """
+        graph = self.graph
+        walk = [int(start)]
+        if graph.degree(start) == 0:
+            return walk
+        while len(walk) < self.walk_length:
+            current = walk[-1]
+            neighbors = graph.neighbors(current)
+            if neighbors.size == 0:
+                break
+            if len(walk) == 1 or (self.return_param == 1.0 and self.inout_param == 1.0):
+                nxt = int(neighbors[int(self._rng.integers(0, neighbors.size))])
+            else:
+                nxt = self._biased_step(walk[-2], current, neighbors)
+            walk.append(nxt)
+        return walk
+
+    def generate_walks(self, walks_per_node: int = 10) -> list[list[int]]:
+        """Generate ``walks_per_node`` walks from every node, in shuffled order."""
+        if walks_per_node < 1:
+            raise GraphError(f"walks_per_node must be >= 1, got {walks_per_node}")
+        nodes = np.arange(self.graph.num_nodes)
+        walks: list[list[int]] = []
+        for _ in range(walks_per_node):
+            self._rng.shuffle(nodes)
+            for node in nodes:
+                walks.append(self.walk_from(int(node)))
+        return walks
+
+    def cooccurrence_pairs(
+        self, walks: list[list[int]], window_size: int = 5
+    ) -> np.ndarray:
+        """Extract (centre, context) pairs from walks within a sliding window.
+
+        Returns an ``(n_pairs, 2)`` array.  This is the classic DeepWalk
+        corpus construction.
+        """
+        if window_size < 1:
+            raise GraphError(f"window_size must be >= 1, got {window_size}")
+        pairs: list[tuple[int, int]] = []
+        for walk in walks:
+            for idx, center in enumerate(walk):
+                lo = max(0, idx - window_size)
+                hi = min(len(walk), idx + window_size + 1)
+                for jdx in range(lo, hi):
+                    if jdx != idx:
+                        pairs.append((center, walk[jdx]))
+        if not pairs:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.asarray(pairs, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _biased_step(self, previous: int, current: int, neighbors: np.ndarray) -> int:
+        """node2vec second-order transition from ``current`` given ``previous``."""
+        weights = np.empty(neighbors.size, dtype=float)
+        prev_neighbors = set(self.graph.neighbors(previous).tolist())
+        for i, candidate in enumerate(neighbors):
+            candidate = int(candidate)
+            if candidate == previous:
+                weights[i] = 1.0 / self.return_param
+            elif candidate in prev_neighbors:
+                weights[i] = 1.0
+            else:
+                weights[i] = 1.0 / self.inout_param
+        weights /= weights.sum()
+        choice = self._rng.choice(neighbors.size, p=weights)
+        return int(neighbors[int(choice)])

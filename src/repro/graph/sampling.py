@@ -1,0 +1,257 @@
+"""Subgraph and negative sampling.
+
+Implements Algorithm 1 of the paper (*Generating Disjoint Subgraphs*): every
+edge ``(v_i, v_j)`` is grouped with ``k`` negative nodes ``v_n`` such that
+``(v_i, v_n)`` is not an edge.  A batch of these subgraphs — sampled
+uniformly without replacement — is the unit of one private SGD step, and
+``γ = B / |E|`` is the subsampling rate used for privacy amplification.
+
+Two negative-node distributions are provided:
+
+* :class:`UnigramNegativeSampler` — the classic degree^0.75 unigram sampler
+  used by word2vec/DeepWalk (the "prior work" setting in Section IV-B).
+* :class:`ProximityNegativeSampler` — the paper's Theorem-3 design where
+  ``P_n(v) ∝ min(P) / Σ_j p_ij``, which makes skip-gram preserve arbitrary
+  proximities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..utils.rng import ensure_rng
+from .graph import Graph
+
+__all__ = [
+    "EdgeSubgraph",
+    "generate_disjoint_subgraphs",
+    "SubgraphSampler",
+    "UnigramNegativeSampler",
+    "ProximityNegativeSampler",
+]
+
+
+@dataclass(frozen=True)
+class EdgeSubgraph:
+    """One record produced by Algorithm 1.
+
+    Attributes
+    ----------
+    center:
+        The centre node ``v_i`` of the positive edge.
+    positive:
+        The context node ``v_j`` of the positive edge.
+    negatives:
+        Array of ``k`` negative nodes ``v_n`` with ``(center, v_n) ∉ E``.
+    """
+
+    center: int
+    positive: int
+    negatives: np.ndarray
+
+    def all_context_nodes(self) -> np.ndarray:
+        """Return ``[positive, *negatives]`` — the k+1 output rows touched."""
+        return np.concatenate(([self.positive], self.negatives)).astype(np.int64)
+
+
+class _NegativeSamplerBase:
+    """Common machinery: draw nodes from a distribution, rejecting neighbours."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        probabilities: np.ndarray,
+        seed: int | np.random.Generator | None = None,
+        max_attempts: int = 1000,
+    ) -> None:
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (graph.num_nodes,):
+            raise GraphError(
+                f"probabilities must have shape ({graph.num_nodes},), got {probabilities.shape}"
+            )
+        if np.any(probabilities < 0):
+            raise GraphError("negative sampling probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise GraphError("negative sampling probabilities must not all be zero")
+        self.graph = graph
+        self.probabilities = probabilities / total
+        self._rng = ensure_rng(seed)
+        self._max_attempts = int(max_attempts)
+
+    def sample_negatives(self, center: int, count: int) -> np.ndarray:
+        """Sample ``count`` nodes that are not neighbours of ``center`` (nor itself).
+
+        Falls back to uniform sampling over valid nodes if rejection sampling
+        fails (e.g. near-complete graphs).
+        """
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        forbidden = set(self.graph.neighbors(center).tolist())
+        forbidden.add(int(center))
+        negatives: list[int] = []
+        attempts = 0
+        while len(negatives) < count and attempts < self._max_attempts:
+            attempts += 1
+            candidate = int(self._rng.choice(self.graph.num_nodes, p=self.probabilities))
+            if candidate not in forbidden:
+                negatives.append(candidate)
+        if len(negatives) < count:
+            allowed = np.array(
+                [v for v in range(self.graph.num_nodes) if v not in forbidden],
+                dtype=np.int64,
+            )
+            if allowed.size == 0:
+                raise GraphError(
+                    f"node {center} is connected to every other node; cannot sample negatives"
+                )
+            extra = self._rng.choice(allowed, size=count - len(negatives), replace=True)
+            negatives.extend(int(x) for x in np.atleast_1d(extra))
+        return np.asarray(negatives, dtype=np.int64)
+
+
+class UnigramNegativeSampler(_NegativeSamplerBase):
+    """word2vec-style unigram sampler: ``P_n(v) ∝ degree(v) ** power``.
+
+    With ``power=0.75`` this reproduces the negative sampling used by
+    DeepWalk/LINE/node2vec — the comparison point of Section IV-B's
+    "Comparison with Prior Works".
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        power: float = 0.75,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        degrees = graph.degrees().astype(float)
+        # Isolated nodes get a tiny positive mass so the distribution is valid.
+        weights = np.power(np.maximum(degrees, 1e-12), power)
+        super().__init__(graph, weights, seed=seed)
+        self.power = float(power)
+
+
+class ProximityNegativeSampler(_NegativeSamplerBase):
+    """Theorem-3 negative sampler: ``P_n(v_i → ·) ∝ min(P) / Σ_j p_ij``.
+
+    The paper defines the negative-sampling probability *per centre node*
+    ``v_i`` as ``min(P) / Σ_{v_j} p_ij`` — i.e. the probability of drawing
+    any particular negative is inversely proportional to the centre's total
+    proximity mass.  Normalised over candidate nodes this yields a uniform
+    distribution whose *scale* (relative to the positive term) is what drives
+    the optimum in Eq. (10); for sampling purposes we draw candidates
+    uniformly but expose :meth:`negative_weight` so the trainer can weight
+    the negative part of the loss by ``k · min(P)`` exactly as Eq. (13)
+    requires.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        proximity_row_sums: np.ndarray,
+        min_positive_proximity: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        proximity_row_sums = np.asarray(proximity_row_sums, dtype=float)
+        if proximity_row_sums.shape != (graph.num_nodes,):
+            raise GraphError(
+                "proximity_row_sums must have one entry per node, got shape "
+                f"{proximity_row_sums.shape}"
+            )
+        if min_positive_proximity <= 0:
+            raise GraphError(
+                f"min_positive_proximity must be positive, got {min_positive_proximity}"
+            )
+        # Candidate negatives are drawn uniformly; the proximity information
+        # enters through the per-centre weight used in the objective.
+        uniform = np.ones(graph.num_nodes, dtype=float)
+        super().__init__(graph, uniform, seed=seed)
+        self.row_sums = proximity_row_sums
+        self.min_positive_proximity = float(min_positive_proximity)
+
+    def negative_probability(self, center: int) -> float:
+        """Return ``min(P) / Σ_j p_ij`` for the given centre node.
+
+        This is the (unnormalised) probability mass Theorem 3 assigns to each
+        negative candidate of ``center``; it must lie in ``(0, 1)`` for the
+        theorem's premise to hold.
+        """
+        row_sum = float(self.row_sums[int(center)])
+        if row_sum <= 0:
+            return 0.0
+        return self.min_positive_proximity / row_sum
+
+
+def generate_disjoint_subgraphs(
+    graph: Graph,
+    negative_sampler: _NegativeSamplerBase,
+    num_negatives: int,
+    both_directions: bool = False,
+) -> list[EdgeSubgraph]:
+    """Algorithm 1: build one :class:`EdgeSubgraph` per edge.
+
+    Parameters
+    ----------
+    graph:
+        The training graph.
+    negative_sampler:
+        Any sampler exposing ``sample_negatives(center, count)``.
+    num_negatives:
+        ``k``, the number of negative samples per edge.
+    both_directions:
+        If ``True``, each undirected edge produces two subgraphs (one per
+        direction), matching implementations that treat the skip-gram pair
+        symmetrically.  The paper's Algorithm 1 uses one per edge (default).
+    """
+    if num_negatives < 1:
+        raise GraphError(f"num_negatives must be >= 1, got {num_negatives}")
+    if graph.num_edges == 0:
+        raise GraphError("cannot build subgraphs for a graph with no edges")
+    subgraphs: list[EdgeSubgraph] = []
+    for u, v in graph.edges:
+        u, v = int(u), int(v)
+        negatives = negative_sampler.sample_negatives(u, num_negatives)
+        subgraphs.append(EdgeSubgraph(center=u, positive=v, negatives=negatives))
+        if both_directions:
+            negatives_rev = negative_sampler.sample_negatives(v, num_negatives)
+            subgraphs.append(EdgeSubgraph(center=v, positive=u, negatives=negatives_rev))
+    return subgraphs
+
+
+class SubgraphSampler:
+    """Uniform without-replacement batch sampler over precomputed subgraphs.
+
+    One batch of size ``B`` corresponds to one private SGD step; the
+    subsampling rate ``γ = B / |GS|`` feeds the privacy-amplification bound
+    (Theorem 4 / 5 of the paper).
+    """
+
+    def __init__(
+        self,
+        subgraphs: list[EdgeSubgraph],
+        batch_size: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not subgraphs:
+            raise GraphError("subgraphs must not be empty")
+        if batch_size < 1:
+            raise GraphError(f"batch_size must be >= 1, got {batch_size}")
+        self.subgraphs = list(subgraphs)
+        self.batch_size = min(int(batch_size), len(self.subgraphs))
+        self._rng = ensure_rng(seed)
+
+    @property
+    def sampling_rate(self) -> float:
+        """The subsampling parameter ``γ = B / |GS|``."""
+        return self.batch_size / len(self.subgraphs)
+
+    def sample_batch(self) -> list[EdgeSubgraph]:
+        """Sample ``batch_size`` subgraphs uniformly without replacement."""
+        indices = self._rng.choice(len(self.subgraphs), size=self.batch_size, replace=False)
+        return [self.subgraphs[int(i)] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self.subgraphs)

@@ -1,0 +1,38 @@
+"""Structural validation helpers for simple graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .graph import Graph
+
+__all__ = ["validate_simple_graph"]
+
+
+def validate_simple_graph(graph: Graph, require_edges: bool = True) -> None:
+    """Check the invariants the trainers rely on; raise :class:`GraphError` otherwise.
+
+    Invariants checked:
+
+    * at least one edge (unless ``require_edges=False``),
+    * no self-loops (guaranteed by :class:`Graph`, re-checked defensively),
+    * adjacency matrix symmetric with a zero diagonal,
+    * every edge endpoint inside ``[0, num_nodes)``.
+    """
+    if require_edges and graph.num_edges == 0:
+        raise GraphError(f"graph {graph.name!r} has no edges")
+
+    edges = graph.edges
+    if edges.size:
+        if np.any(edges[:, 0] == edges[:, 1]):
+            raise GraphError("graph contains a self-loop")
+        if edges.min() < 0 or edges.max() >= graph.num_nodes:
+            raise GraphError("graph contains an edge endpoint outside the node range")
+
+    adjacency = graph.adjacency_matrix()
+    asym = abs(adjacency - adjacency.T)
+    if asym.nnz != 0 and float(asym.max()) > 0:
+        raise GraphError("adjacency matrix is not symmetric")
+    if float(abs(adjacency.diagonal()).sum()) > 0:
+        raise GraphError("adjacency matrix has a non-zero diagonal")

@@ -1,0 +1,109 @@
+"""Graph-convolution substrate used by the GAP / ProGAP baselines.
+
+A GCN layer computes ``H' = act(Â H W)`` where ``Â`` is the symmetrically
+normalised adjacency with self-loops.  The GAP family perturbs the
+*aggregation* step ``Â H`` with Gaussian noise (aggregation perturbation),
+which is why the aggregation is exposed as its own method here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConfigurationError
+from ..graph import Graph
+from ..utils.rng import ensure_rng
+from .layers import Activation, DenseLayer
+
+__all__ = ["normalized_adjacency", "GCNLayer", "GCNEncoder"]
+
+
+def normalized_adjacency(graph: Graph, add_self_loops: bool = True) -> np.ndarray:
+    """Return ``D^{-1/2} (A + I) D^{-1/2}`` as a dense array."""
+    adjacency = graph.adjacency_matrix()
+    if sparse.issparse(adjacency):
+        adjacency = np.asarray(adjacency.todense())
+    if add_self_loops:
+        adjacency = adjacency + np.eye(graph.num_nodes)
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GCNLayer:
+    """One graph convolution: aggregate with ``Â`` then transform with a dense layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        self.dense = DenseLayer(in_features, out_features, seed=rng)
+        self.activation = Activation(activation)
+
+    def aggregate(self, normalized_adj: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """The neighbourhood aggregation ``Â H`` (the step GAP perturbs)."""
+        return normalized_adj @ features
+
+    def transform(self, aggregated: np.ndarray) -> np.ndarray:
+        """Apply the dense transform and activation to an aggregated matrix."""
+        return self.activation.forward(self.dense.forward(aggregated))
+
+    def forward(self, normalized_adj: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Full layer: aggregate then transform."""
+        return self.transform(self.aggregate(normalized_adj, features))
+
+
+class GCNEncoder:
+    """A stack of GCN layers producing node embeddings.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes ``[in, hidden..., out]``; at least two entries.
+    activation:
+        Activation for all but the last layer (the last layer is linear).
+    seed:
+        Seed for the layer initialisations.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        activation: str = "relu",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigurationError(
+                f"layer_sizes needs at least [in, out], got {layer_sizes}"
+            )
+        rng = ensure_rng(seed)
+        self.layers: list[GCNLayer] = []
+        for i in range(len(layer_sizes) - 1):
+            act = activation if i < len(layer_sizes) - 2 else "identity"
+            self.layers.append(
+                GCNLayer(layer_sizes[i], layer_sizes[i + 1], activation=act, seed=rng)
+            )
+
+    def encode(
+        self,
+        normalized_adj: np.ndarray,
+        features: np.ndarray,
+        aggregation_hook=None,
+    ) -> np.ndarray:
+        """Run all layers; ``aggregation_hook(agg) -> agg`` perturbs each aggregation.
+
+        The hook is how GAP injects aggregation-perturbation noise without
+        the encoder knowing about privacy at all.
+        """
+        hidden = features
+        for layer in self.layers:
+            aggregated = layer.aggregate(normalized_adj, hidden)
+            if aggregation_hook is not None:
+                aggregated = aggregation_hook(aggregated)
+            hidden = layer.transform(aggregated)
+        return hidden

@@ -1,0 +1,44 @@
+"""Loss functions (with gradients) for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.math import stable_log
+
+__all__ = [
+    "binary_cross_entropy",
+    "binary_cross_entropy_grad",
+    "mse",
+    "mse_grad",
+]
+
+
+def binary_cross_entropy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean binary cross-entropy of probabilities against 0/1 targets."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    losses = -(targets * stable_log(predictions) + (1 - targets) * stable_log(1 - predictions))
+    return float(np.mean(losses))
+
+
+def binary_cross_entropy_grad(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of mean BCE with respect to the predicted probabilities."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    clipped = np.clip(predictions, 1e-12, 1 - 1e-12)
+    return (clipped - targets) / (clipped * (1 - clipped)) / predictions.size
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def mse_grad(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of MSE with respect to the predictions."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    return 2.0 * (predictions - targets) / predictions.size

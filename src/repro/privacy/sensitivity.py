@@ -1,0 +1,66 @@
+"""Sensitivity analysis helpers.
+
+Section III-B of the paper observes that under node-level DP a naive
+per-batch gradient sum has sensitivity up to ``B · C`` (every one of the
+``B`` clipped per-example gradients can change when one node changes),
+whereas the non-zero-row perturbation of Section IV-A works with the
+per-example sensitivity ``C``.  These helpers make those bounds explicit so
+trainers and tests can reason about them.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import PrivacyError
+from ..graph import Graph
+
+__all__ = [
+    "per_example_sensitivity",
+    "batch_gradient_sensitivity",
+    "node_level_edge_change_bound",
+]
+
+
+def per_example_sensitivity(clipping_threshold: float) -> float:
+    """Sensitivity of a single clipped per-example gradient: exactly ``C``."""
+    if clipping_threshold <= 0:
+        raise PrivacyError(
+            f"clipping_threshold must be positive, got {clipping_threshold}"
+        )
+    return float(clipping_threshold)
+
+
+def batch_gradient_sensitivity(
+    clipping_threshold: float,
+    batch_size: int,
+    affected_examples: int | None = None,
+) -> float:
+    """Worst-case ℓ2 sensitivity of a summed batch gradient under node-level DP.
+
+    Changing one node can change every example that touches it; in the worst
+    case that is the whole batch, giving ``S = B · C`` (the paper's
+    ``S_{∇v} ≤ B C`` remark for the naive first-cut solution of Eq. 6).
+    ``affected_examples`` caps the number of examples a node change can
+    influence (``min(B, affected)``).
+    """
+    if clipping_threshold <= 0:
+        raise PrivacyError(
+            f"clipping_threshold must be positive, got {clipping_threshold}"
+        )
+    if batch_size < 1:
+        raise PrivacyError(f"batch_size must be >= 1, got {batch_size}")
+    affected = batch_size if affected_examples is None else min(batch_size, affected_examples)
+    if affected < 1:
+        raise PrivacyError(f"affected_examples must be >= 1, got {affected_examples}")
+    return float(clipping_threshold * affected)
+
+
+def node_level_edge_change_bound(graph: Graph) -> int:
+    """Maximum number of edges that can change when one node changes.
+
+    Under node-level DP a node replacement can rewire all of its incident
+    edges; the worst case over the graph is the maximum degree (and the
+    absolute worst case over all graphs is ``|V| - 1``, which the paper
+    quotes as the reason node-level DP is hard).
+    """
+    degrees = graph.degrees()
+    return int(degrees.max()) if degrees.size else 0

@@ -1,0 +1,28 @@
+"""Node proximity measures (the "structure preference" inputs of SE-PrivGEmb)."""
+
+from .base import ProximityMeasure, ProximityMatrix
+from .first_order import (
+    CommonNeighborsProximity,
+    JaccardProximity,
+    PreferentialAttachmentProximity,
+)
+from .second_order import AdamicAdarProximity, ResourceAllocationProximity
+from .high_order import KatzProximity, PersonalizedPageRankProximity, DeepWalkProximity
+from .degree import DegreeProximity
+from .registry import available_proximities, get_proximity
+
+__all__ = [
+    "ProximityMeasure",
+    "ProximityMatrix",
+    "CommonNeighborsProximity",
+    "JaccardProximity",
+    "PreferentialAttachmentProximity",
+    "AdamicAdarProximity",
+    "ResourceAllocationProximity",
+    "KatzProximity",
+    "PersonalizedPageRankProximity",
+    "DeepWalkProximity",
+    "DegreeProximity",
+    "available_proximities",
+    "get_proximity",
+]

@@ -1,0 +1,153 @@
+"""Base classes for node-proximity measures.
+
+Definition 4 of the paper: a proximity matrix ``P`` is a ``|V| x |V|`` matrix
+whose entry ``p_ij`` quantifies the structural closeness of ``v_i`` and
+``v_j``.  SE-PrivGEmb accepts *any* such matrix; Theorem 3 shows that with
+the right negative-sampling design the learned inner products preserve
+``log(p_ij / (k·min(P)))``.
+
+:class:`ProximityMeasure` is the strategy interface (one concrete subclass
+per measure).  :class:`ProximityMatrix` wraps the computed dense matrix with
+the derived quantities the trainer needs:
+
+* ``min_positive`` — ``min(P) = min{p_ij | p_ij > 0}``,
+* ``row_sums`` — ``Σ_j p_ij`` per centre node,
+* ``pair_value(i, j)`` — fast lookup of ``p_ij``,
+* ``negative_sampling_mass(i)`` — ``min(P)/Σ_j p_ij`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ProximityError
+from ..graph import Graph
+
+__all__ = ["ProximityMeasure", "ProximityMatrix"]
+
+
+class ProximityMatrix:
+    """A computed node-proximity matrix plus the derived quantities of Theorem 3."""
+
+    def __init__(self, matrix: np.ndarray, name: str = "proximity") -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ProximityError(f"proximity matrix must be square, got shape {matrix.shape}")
+        if np.any(~np.isfinite(matrix)):
+            raise ProximityError("proximity matrix contains non-finite values")
+        if np.any(matrix < 0):
+            raise ProximityError("proximity values must be non-negative")
+        self._matrix = matrix
+        self._name = name
+        positive = matrix[matrix > 0]
+        self._min_positive = float(positive.min()) if positive.size else 0.0
+        self._row_sums = matrix.sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Name of the proximity measure that produced this matrix."""
+        return self._name
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense ``|V| x |V|`` proximity matrix."""
+        return self._matrix
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the matrix covers."""
+        return self._matrix.shape[0]
+
+    @property
+    def min_positive(self) -> float:
+        """``min(P)``: the smallest strictly positive proximity value."""
+        return self._min_positive
+
+    @property
+    def row_sums(self) -> np.ndarray:
+        """``Σ_j p_ij`` for every centre node ``v_i``."""
+        return self._row_sums
+
+    def pair_value(self, i: int, j: int) -> float:
+        """Return ``p_ij``."""
+        return float(self._matrix[int(i), int(j)])
+
+    def pair_values(self, centers: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+        """Vectorised ``p_ij`` lookup for parallel index arrays."""
+        centers = np.asarray(centers, dtype=np.int64)
+        contexts = np.asarray(contexts, dtype=np.int64)
+        return self._matrix[centers, contexts]
+
+    def negative_sampling_mass(self, center: int) -> float:
+        """Theorem-3 negative-sampling mass ``min(P) / Σ_j p_ij`` for a centre node."""
+        row_sum = float(self._row_sums[int(center)])
+        if row_sum <= 0:
+            return 0.0
+        return self._min_positive / row_sum
+
+    def theoretical_optimal_inner_product(self, i: int, j: int, num_negatives: int) -> float:
+        """Eq. (10): the optimal ``v_i · v_j`` = ``log(p_ij / (k · min(P)))``.
+
+        Returns ``-inf`` when ``p_ij = 0`` (the optimum pushes the pair apart
+        without bound).
+        """
+        if num_negatives < 1:
+            raise ProximityError(f"num_negatives must be >= 1, got {num_negatives}")
+        p_ij = self.pair_value(i, j)
+        if p_ij <= 0 or self._min_positive <= 0:
+            return float("-inf")
+        return float(np.log(p_ij / (num_negatives * self._min_positive)))
+
+    def normalized(self) -> "ProximityMatrix":
+        """Return a copy scaled so the maximum entry is 1 (zero matrix unchanged)."""
+        peak = float(self._matrix.max())
+        if peak <= 0:
+            return ProximityMatrix(self._matrix.copy(), name=self._name)
+        return ProximityMatrix(self._matrix / peak, name=f"{self._name}-normalized")
+
+    def __repr__(self) -> str:
+        return (
+            f"ProximityMatrix(name={self._name!r}, num_nodes={self.num_nodes}, "
+            f"min_positive={self._min_positive:.3g})"
+        )
+
+
+class ProximityMeasure(abc.ABC):
+    """Strategy interface: compute a :class:`ProximityMatrix` for a graph."""
+
+    #: registry key; subclasses override.
+    name: str = "proximity"
+
+    @abc.abstractmethod
+    def compute_matrix(self, graph: Graph) -> np.ndarray:
+        """Return the raw dense proximity matrix for ``graph``."""
+
+    def compute(self, graph: Graph) -> ProximityMatrix:
+        """Compute and wrap the proximity matrix, zeroing the diagonal.
+
+        The diagonal is irrelevant to skip-gram training (a node is never its
+        own context) and zeroing it keeps ``min(P)`` meaningful.
+        """
+        matrix = np.asarray(self.compute_matrix(graph), dtype=float)
+        if matrix.shape != (graph.num_nodes, graph.num_nodes):
+            raise ProximityError(
+                f"{type(self).__name__}.compute_matrix returned shape {matrix.shape}, "
+                f"expected ({graph.num_nodes}, {graph.num_nodes})"
+            )
+        np.fill_diagonal(matrix, 0.0)
+        return ProximityMatrix(matrix, name=self.name)
+
+    # Convenience for subclasses ------------------------------------------------
+    @staticmethod
+    def _dense_adjacency(graph: Graph) -> np.ndarray:
+        adjacency = graph.adjacency_matrix()
+        if sparse.issparse(adjacency):
+            return np.asarray(adjacency.todense())
+        return np.asarray(adjacency)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,54 @@
+"""First-order proximity measures (one-hop neighbourhood heuristics).
+
+The paper's Definition 4 cites common neighbours and preferential attachment
+as first-order structural features; Jaccard similarity is included as a
+normalised variant commonly used alongside them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .base import ProximityMeasure
+
+__all__ = [
+    "CommonNeighborsProximity",
+    "PreferentialAttachmentProximity",
+    "JaccardProximity",
+]
+
+
+class CommonNeighborsProximity(ProximityMeasure):
+    """``p_ij = |N(v_i) ∩ N(v_j)|`` — the number of shared neighbours."""
+
+    name = "common_neighbors"
+
+    def compute_matrix(self, graph: Graph) -> np.ndarray:
+        adjacency = self._dense_adjacency(graph)
+        return adjacency @ adjacency
+
+
+class PreferentialAttachmentProximity(ProximityMeasure):
+    """``p_ij = d_i · d_j`` — the Barabási–Albert preferential attachment score."""
+
+    name = "preferential_attachment"
+
+    def compute_matrix(self, graph: Graph) -> np.ndarray:
+        degrees = graph.degrees().astype(float)
+        return np.outer(degrees, degrees)
+
+
+class JaccardProximity(ProximityMeasure):
+    """``p_ij = |N(i) ∩ N(j)| / |N(i) ∪ N(j)|`` — normalised neighbourhood overlap."""
+
+    name = "jaccard"
+
+    def compute_matrix(self, graph: Graph) -> np.ndarray:
+        adjacency = self._dense_adjacency(graph)
+        intersection = adjacency @ adjacency
+        degrees = adjacency.sum(axis=1)
+        union = degrees[:, None] + degrees[None, :] - intersection
+        with np.errstate(divide="ignore", invalid="ignore"):
+            jaccard = np.where(union > 0, intersection / union, 0.0)
+        return jaccard

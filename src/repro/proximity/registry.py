@@ -1,0 +1,58 @@
+"""Name-based registry of proximity measures.
+
+Experiments reference proximities by name ("deepwalk", "degree", ...); this
+registry maps those names to configured :class:`ProximityMeasure` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..exceptions import ProximityError
+from .base import ProximityMeasure
+from .degree import DegreeProximity
+from .first_order import (
+    CommonNeighborsProximity,
+    JaccardProximity,
+    PreferentialAttachmentProximity,
+)
+from .high_order import DeepWalkProximity, KatzProximity, PersonalizedPageRankProximity
+from .second_order import AdamicAdarProximity, ResourceAllocationProximity
+
+__all__ = ["available_proximities", "get_proximity", "register_proximity"]
+
+_REGISTRY: dict[str, Callable[..., ProximityMeasure]] = {
+    "common_neighbors": CommonNeighborsProximity,
+    "preferential_attachment": PreferentialAttachmentProximity,
+    "jaccard": JaccardProximity,
+    "adamic_adar": AdamicAdarProximity,
+    "resource_allocation": ResourceAllocationProximity,
+    "katz": KatzProximity,
+    "ppr": PersonalizedPageRankProximity,
+    "deepwalk": DeepWalkProximity,
+    "degree": DegreeProximity,
+}
+
+
+def available_proximities() -> list[str]:
+    """Return the sorted list of registered proximity names."""
+    return sorted(_REGISTRY)
+
+
+def get_proximity(name: str, **kwargs: Any) -> ProximityMeasure:
+    """Instantiate a proximity measure by registry name.
+
+    Extra keyword arguments are forwarded to the measure's constructor, e.g.
+    ``get_proximity("deepwalk", window_size=10)``.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ProximityError(
+            f"unknown proximity {name!r}; available: {', '.join(available_proximities())}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def register_proximity(name: str, factory: Callable[..., ProximityMeasure]) -> None:
+    """Register a custom proximity measure under ``name`` (overwrites existing)."""
+    _REGISTRY[name.strip().lower()] = factory

@@ -1,0 +1,31 @@
+"""Small shared utilities: RNG handling, numerically stable math, timing."""
+
+from .rng import ensure_rng, spawn_rngs
+from .math import (
+    sigmoid,
+    log_sigmoid,
+    softmax,
+    stable_log,
+    clip_norm,
+    row_l2_norms,
+    pairwise_euclidean,
+)
+from .timer import Timer
+from .logging import get_logger
+from .stats import RunningStats, summarize_runs
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "sigmoid",
+    "log_sigmoid",
+    "softmax",
+    "stable_log",
+    "clip_norm",
+    "row_l2_norms",
+    "pairwise_euclidean",
+    "Timer",
+    "get_logger",
+    "RunningStats",
+    "summarize_runs",
+]

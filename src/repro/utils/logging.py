@@ -1,0 +1,22 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+loggers under ``repro.*`` so applications keep full control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("embedding")`` returns the ``repro.embedding`` logger; a
+    fully qualified name that already starts with ``repro`` is used as-is.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

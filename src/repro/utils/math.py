@@ -1,0 +1,83 @@
+"""Numerically stable math primitives used by the skip-gram trainers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "log_sigmoid",
+    "softmax",
+    "stable_log",
+    "clip_norm",
+    "row_l2_norms",
+    "pairwise_euclidean",
+]
+
+# Inputs to exp() are clamped to this magnitude to avoid overflow warnings.
+_EXP_CLAMP = 35.0
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic sigmoid ``1 / (1 + exp(-x))``."""
+    x = np.clip(x, -_EXP_CLAMP, _EXP_CLAMP)
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def log_sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable ``log(sigmoid(x))``.
+
+    Uses the identity ``log σ(x) = -log(1 + exp(-x)) = min(x, 0) - log1p(exp(-|x|))``.
+    """
+    x = np.asarray(x, dtype=float)
+    return np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def stable_log(x: np.ndarray | float, floor: float = 1e-12) -> np.ndarray | float:
+    """``log(max(x, floor))`` — guards against log of zero."""
+    return np.log(np.maximum(x, floor))
+
+
+def clip_norm(vector: np.ndarray, threshold: float) -> np.ndarray:
+    """Clip ``vector`` to ℓ2 norm at most ``threshold`` (DPSGD-style).
+
+    Implements ``Clip(g) = g / max(1, ||g||_2 / C)`` from the paper's Eq. (3).
+    Works on arrays of any shape; the norm is computed over all entries.
+    """
+    if threshold <= 0:
+        raise ValueError(f"clipping threshold must be positive, got {threshold}")
+    vector = np.asarray(vector, dtype=float)
+    norm = float(np.linalg.norm(vector))
+    scale = max(1.0, norm / threshold)
+    return vector / scale
+
+
+def row_l2_norms(matrix: np.ndarray) -> np.ndarray:
+    """Return the ℓ2 norm of each row of a 2-D array."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+    return np.linalg.norm(matrix, axis=1)
+
+
+def pairwise_euclidean(matrix: np.ndarray) -> np.ndarray:
+    """All-pairs Euclidean distance matrix for the rows of ``matrix``.
+
+    Uses the ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a·b`` expansion, clipping
+    tiny negative values caused by floating point error.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+    sq = np.sum(matrix**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (matrix @ matrix.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)

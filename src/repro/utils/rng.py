@@ -1,0 +1,40 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng` normalises
+these three cases into a ``Generator`` so the rest of the code never touches
+the global numpy random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given seed-like value.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Useful when an experiment repeats a stochastic run several times and
+    wants each repetition to be independently seeded but reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base = ensure_rng(seed)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic graphs and fast configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, PrivacyConfig, TrainingConfig
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="session")
+def triangle_graph() -> Graph:
+    """A 4-node graph: a triangle (0-1-2) plus a pendant node 3 attached to 0."""
+    return Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3)], name="triangle-pendant")
+
+
+@pytest.fixture(scope="session")
+def path_graph() -> Graph:
+    """A 5-node path 0-1-2-3-4."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)], name="path5")
+
+
+@pytest.fixture(scope="session")
+def star_graph() -> Graph:
+    """A 6-node star with centre 0."""
+    return Graph(6, [(0, i) for i in range(1, 6)], name="star6")
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A ~60-node small-world graph used by the trainer and evaluation tests."""
+    return load_dataset("smallworld", num_nodes=60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> Graph:
+    """A ~120-node scale-free graph (chameleon stand-in at reduced scale)."""
+    return load_dataset("chameleon", num_nodes=120, seed=5)
+
+
+@pytest.fixture()
+def fast_training_config() -> TrainingConfig:
+    """A training configuration small enough for second-scale tests."""
+    return TrainingConfig(
+        embedding_dim=8, batch_size=16, learning_rate=0.1, negative_samples=3, epochs=5
+    )
+
+
+@pytest.fixture()
+def fast_privacy_config() -> PrivacyConfig:
+    """The paper's privacy defaults (ε=3.5, δ=1e-5, σ=5, C=2)."""
+    return PrivacyConfig(epsilon=3.5, delta=1e-5, noise_multiplier=5.0, clipping_threshold=2.0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(1234)

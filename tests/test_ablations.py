@@ -1,0 +1,39 @@
+"""Tests for the ablation experiment module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.ablations import (
+    ablation_gradient_normalization,
+    ablation_iterate_averaging,
+    ablation_negative_sampling,
+)
+
+SMOKE = ExperimentSettings.smoke_test()
+
+
+class TestAblations:
+    def test_iterate_averaging_rows(self):
+        table = ablation_iterate_averaging(SMOKE)
+        assert len(table) == len(SMOKE.datasets) * 2
+        assert set(table.column("iterate_averaging")) == {True, False}
+        for value in table.column("strucequ_mean"):
+            assert -1.0 <= value <= 1.0
+
+    def test_gradient_normalization_rows(self):
+        table = ablation_gradient_normalization(SMOKE)
+        assert len(table) == len(SMOKE.datasets) * 2
+        assert set(table.column("gradient_normalization")) == {"per_row", "batch"}
+
+    def test_negative_sampling_rows(self):
+        table = ablation_negative_sampling(SMOKE)
+        assert len(table) == len(SMOKE.datasets) * 2
+        assert set(table.column("negative_sampling")) == {"proximity", "unigram"}
+
+    def test_tables_render_to_text(self):
+        table = ablation_iterate_averaging(SMOKE)
+        text = table.to_text()
+        assert "Ablation" in text
+        assert "strucequ_mean" in text

@@ -1,0 +1,102 @@
+"""Tests for the four DP baseline embedders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, PrivacyConfig, TrainingConfig, TrainingError
+from repro.baselines import DPGGAN, DPGVAE, GAP, ProGAP, available_baselines, get_baseline
+
+FAST = TrainingConfig(embedding_dim=8, batch_size=16, learning_rate=0.1, negative_samples=3, epochs=3)
+PRIVACY = PrivacyConfig(epsilon=2.0)
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        names = available_baselines()
+        for expected in ("dpggan", "dpgvae", "gap", "progap"):
+            assert expected in names
+
+    def test_get_baseline_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_baseline("nonexistent")
+
+    def test_get_baseline_forwards_configs(self):
+        baseline = get_baseline("gap", training_config=FAST, privacy_config=PRIVACY, seed=0)
+        assert baseline.training_config is FAST
+        assert baseline.privacy_config is PRIVACY
+
+
+@pytest.mark.parametrize("cls", [DPGGAN, DPGVAE, GAP, ProGAP], ids=lambda c: c.name)
+class TestCommonBehaviour:
+    def test_fit_returns_correct_shape(self, cls, small_graph):
+        baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        embeddings = baseline.fit(small_graph)
+        assert embeddings.shape == (small_graph.num_nodes, FAST.embedding_dim)
+        assert np.all(np.isfinite(embeddings))
+
+    def test_embeddings_property_after_fit(self, cls, small_graph):
+        baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        baseline.fit(small_graph)
+        assert baseline.embeddings.shape[0] == small_graph.num_nodes
+
+    def test_embeddings_before_fit_raises(self, cls):
+        baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        with pytest.raises(TrainingError):
+            _ = baseline.embeddings
+
+    def test_deterministic_given_seed(self, cls, small_graph):
+        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit(small_graph)
+        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit(small_graph)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self, cls, small_graph):
+        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=1).fit(small_graph)
+        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=2).fit(small_graph)
+        assert not np.allclose(a, b)
+
+    def test_fit_transform_alias(self, cls, small_graph):
+        baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        embeddings = baseline.fit_transform(small_graph)
+        assert embeddings.shape[0] == small_graph.num_nodes
+
+
+class TestAggregationPerturbationCalibration:
+    def test_gap_noise_decreases_with_budget(self, small_graph):
+        loose = GAP(training_config=FAST, privacy_config=PrivacyConfig(epsilon=8.0), seed=0)
+        tight = GAP(training_config=FAST, privacy_config=PrivacyConfig(epsilon=0.5), seed=0)
+        assert loose._calibrate_noise(loose.num_hops) < tight._calibrate_noise(tight.num_hops)
+
+    def test_progap_noise_decreases_with_budget(self, small_graph):
+        loose = ProGAP(training_config=FAST, privacy_config=PrivacyConfig(epsilon=8.0), seed=0)
+        tight = ProGAP(training_config=FAST, privacy_config=PrivacyConfig(epsilon=0.5), seed=0)
+        assert loose._calibrate_noise() < tight._calibrate_noise()
+
+    def test_gap_rejects_bad_hops(self):
+        with pytest.raises(ValueError):
+            GAP(training_config=FAST, privacy_config=PRIVACY, num_hops=0)
+
+    def test_progap_rejects_bad_stages(self):
+        with pytest.raises(ValueError):
+            ProGAP(training_config=FAST, privacy_config=PRIVACY, num_stages=0)
+
+
+class TestOutputPrivatization:
+    def test_output_noise_std_scales_inversely_with_epsilon(self):
+        baseline = DPGVAE(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        assert baseline._output_noise_std(1.0, 0.5) > baseline._output_noise_std(1.0, 4.0)
+
+    def test_output_noise_std_rejects_bad_inputs(self):
+        baseline = DPGVAE(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        with pytest.raises(TrainingError):
+            baseline._output_noise_std(0.0, 1.0)
+        with pytest.raises(TrainingError):
+            baseline._output_noise_std(1.0, 0.0)
+
+    def test_privatize_output_changes_values(self, rng):
+        baseline = DPGVAE(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        embeddings = rng.normal(size=(20, 4))
+        private = baseline._privatize_output(embeddings, epsilon=1.0)
+        assert private.shape == embeddings.shape
+        assert not np.allclose(private, embeddings)

@@ -1,0 +1,287 @@
+"""Tests for the skip-gram model, objective gradients, optimizer and perturbation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, SkipGramModel, TrainingError
+from repro.embedding.objectives import (
+    StructurePreferenceObjective,
+    pair_gradients,
+    pair_loss,
+)
+from repro.embedding.optimizer import SGDOptimizer
+from repro.embedding.perturbation import (
+    NaivePerturbation,
+    NonZeroPerturbation,
+    get_perturbation,
+)
+from repro.graph.sampling import EdgeSubgraph
+from repro.proximity import DeepWalkProximity
+from repro.utils.math import log_sigmoid, sigmoid
+
+
+def _numerical_center_gradient(w_in, w_out, subgraph, weight, eps=1e-6):
+    """Finite-difference gradient of the pair loss w.r.t. the centre vector."""
+    grad = np.zeros_like(w_in[subgraph.center])
+    for i in range(grad.size):
+        w_plus = w_in.copy()
+        w_plus[subgraph.center, i] += eps
+        w_minus = w_in.copy()
+        w_minus[subgraph.center, i] -= eps
+        grad[i] = (
+            pair_loss(w_plus, w_out, subgraph, weight)
+            - pair_loss(w_minus, w_out, subgraph, weight)
+        ) / (2 * eps)
+    return grad
+
+
+class TestSkipGramModel:
+    def test_shapes_and_init_range(self):
+        model = SkipGramModel(10, 4, init_scale=0.1, seed=0)
+        assert model.w_in.shape == (10, 4)
+        assert model.w_out.shape == (10, 4)
+        assert np.all(np.abs(model.w_in) <= 0.1)
+
+    def test_score_matches_inner_product(self):
+        model = SkipGramModel(5, 3, seed=1)
+        expected = float(model.w_in[2] @ model.w_out[4])
+        assert model.score(2, 4) == pytest.approx(expected)
+
+    def test_scores_vectorised(self):
+        model = SkipGramModel(6, 3, seed=2)
+        centers = np.array([0, 1, 2])
+        contexts = np.array([3, 4, 5])
+        expected = [model.score(c, x) for c, x in zip(centers, contexts)]
+        np.testing.assert_allclose(model.scores(centers, contexts), expected)
+
+    def test_embeddings_returns_copy(self):
+        model = SkipGramModel(4, 2, seed=0)
+        emb = model.embeddings()
+        emb[:] = 0.0
+        assert not np.allclose(model.w_in, 0.0)
+
+    def test_copy_is_independent(self):
+        model = SkipGramModel(4, 2, seed=0)
+        clone = model.copy()
+        np.testing.assert_allclose(clone.w_in, model.w_in)
+        clone.w_in[:] = 9.0
+        assert not np.allclose(model.w_in, 9.0)
+
+    def test_apply_update_shape_check(self):
+        model = SkipGramModel(4, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            model.apply_update(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            SkipGramModel(0, 4)
+        with pytest.raises(ConfigurationError):
+            SkipGramModel(4, 0)
+        with pytest.raises(ConfigurationError):
+            SkipGramModel(4, 2, init_scale=0.0)
+
+
+class TestPairGradients:
+    def _setup(self, rng):
+        w_in = rng.normal(0, 0.3, size=(8, 5))
+        w_out = rng.normal(0, 0.3, size=(8, 5))
+        sub = EdgeSubgraph(center=1, positive=2, negatives=np.array([4, 6]))
+        return w_in, w_out, sub
+
+    def test_loss_matches_equation_5(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        weight = 0.7
+        pos = float(w_out[2] @ w_in[1])
+        negs = w_out[[4, 6]] @ w_in[1]
+        expected = -weight * float(log_sigmoid(pos)) - weight * float(
+            np.sum(log_sigmoid(-negs))
+        )
+        assert pair_loss(w_in, w_out, sub, weight) == pytest.approx(expected)
+
+    def test_center_gradient_matches_numerical(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        weight = 1.3
+        grads = pair_gradients(w_in, w_out, sub, weight)
+        numeric = _numerical_center_gradient(w_in, w_out, sub, weight)
+        np.testing.assert_allclose(grads.center_gradient, numeric, atol=1e-5)
+
+    def test_context_gradient_matches_equation_8(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        weight = 0.9
+        grads = pair_gradients(w_in, w_out, sub, weight)
+        # Eq. (8): p_ij (σ(v_n·v_i) - 1[v_n positive]) v_i for each context row.
+        for row, node in enumerate(grads.context_nodes):
+            score = float(w_out[node] @ w_in[1])
+            indicator = 1.0 if row == 0 else 0.0
+            expected = weight * (sigmoid(score) - indicator) * w_in[1]
+            np.testing.assert_allclose(grads.context_gradients[row], expected, atol=1e-10)
+
+    def test_gradient_sparsity_structure(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        grads = pair_gradients(w_in, w_out, sub, 1.0)
+        assert grads.center == 1
+        np.testing.assert_array_equal(grads.context_nodes, [2, 4, 6])
+        assert grads.context_gradients.shape == (3, 5)
+
+    def test_zero_weight_gives_zero_gradient(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        grads = pair_gradients(w_in, w_out, sub, 0.0)
+        np.testing.assert_allclose(grads.center_gradient, 0.0)
+        np.testing.assert_allclose(grads.context_gradients, 0.0)
+
+    def test_negative_weight_rejected(self, rng):
+        w_in, w_out, sub = self._setup(rng)
+        with pytest.raises(TrainingError):
+            pair_gradients(w_in, w_out, sub, -1.0)
+
+
+class TestStructurePreferenceObjective:
+    def test_edge_weight_normalised_to_unit_peak(self, small_graph):
+        proximity = DeepWalkProximity(window_size=3).compute(small_graph)
+        objective = StructurePreferenceObjective(proximity)
+        weights = [
+            objective.edge_weight(int(u), int(v)) for u, v in small_graph.edges
+        ]
+        assert max(weights) <= 1.0 + 1e-9
+        assert min(weights) > 0
+
+    def test_unnormalised_weights_match_raw_proximity(self, small_graph):
+        proximity = DeepWalkProximity(window_size=3).compute(small_graph)
+        objective = StructurePreferenceObjective(proximity, normalize_weights=False)
+        u, v = (int(x) for x in small_graph.edges[0])
+        assert objective.edge_weight(u, v) == pytest.approx(
+            max(proximity.pair_value(u, v), objective.weight_floor)
+        )
+
+    def test_optimal_inner_product_scale_invariant(self, small_graph):
+        """Theorem 3: rescaling P does not change the optimum of Eq. (10)."""
+        proximity = DeepWalkProximity(window_size=3).compute(small_graph)
+        from repro.proximity import ProximityMatrix
+
+        scaled = ProximityMatrix(proximity.matrix * 7.5, name="scaled")
+        u, v = (int(x) for x in small_graph.edges[0])
+        assert proximity.theoretical_optimal_inner_product(u, v, 5) == pytest.approx(
+            scaled.theoretical_optimal_inner_product(u, v, 5)
+        )
+
+    def test_batch_loss_requires_nonempty_batch(self, small_graph):
+        proximity = DeepWalkProximity(window_size=3).compute(small_graph)
+        objective = StructurePreferenceObjective(proximity)
+        with pytest.raises(TrainingError):
+            objective.batch_loss(np.zeros((3, 2)), np.zeros((3, 2)), [])
+
+
+class TestSGDOptimizer:
+    def test_descend_moves_against_gradient(self):
+        opt = SGDOptimizer(learning_rate=0.5)
+        params = np.array([[1.0, 1.0]])
+        opt.descend(params, np.array([[2.0, -2.0]]))
+        np.testing.assert_allclose(params, [[0.0, 2.0]])
+
+    def test_descend_rows_accumulates_duplicates(self):
+        opt = SGDOptimizer(learning_rate=1.0)
+        params = np.zeros((3, 2))
+        rows = np.array([1, 1, 2])
+        grads = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        opt.descend_rows(params, rows, grads)
+        np.testing.assert_allclose(params[1], [-2.0, 0.0])
+        np.testing.assert_allclose(params[2], [0.0, -1.0])
+
+    def test_decay_schedule(self):
+        opt = SGDOptimizer(learning_rate=1.0, decay=1.0)
+        assert opt.current_rate == pytest.approx(1.0)
+        opt.step_epoch()
+        assert opt.current_rate == pytest.approx(0.5)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SGDOptimizer(0.0)
+        with pytest.raises(ConfigurationError):
+            SGDOptimizer(0.1, decay=-1.0)
+        opt = SGDOptimizer(0.1)
+        with pytest.raises(ConfigurationError):
+            opt.descend(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestPerturbationStrategies:
+    def _example_gradients(self, rng, num_nodes=10, dim=4, count=6):
+        grads = []
+        for i in range(count):
+            sub = EdgeSubgraph(
+                center=i % num_nodes,
+                positive=(i + 1) % num_nodes,
+                negatives=np.array([(i + 2) % num_nodes, (i + 3) % num_nodes]),
+            )
+            grads.append(
+                pair_gradients(
+                    rng.normal(0, 0.5, (num_nodes, dim)),
+                    rng.normal(0, 0.5, (num_nodes, dim)),
+                    sub,
+                    1.0,
+                )
+            )
+        return grads
+
+    def test_sensitivity_values(self):
+        naive = NaivePerturbation(clipping_threshold=2.0, noise_multiplier=5.0, seed=0)
+        nonzero = NonZeroPerturbation(clipping_threshold=2.0, noise_multiplier=5.0, seed=0)
+        assert naive.sensitivity(batch_size=64) == pytest.approx(128.0)
+        assert nonzero.sensitivity(batch_size=64) == pytest.approx(2.0)
+
+    def test_nonzero_only_noises_touched_rows(self, rng):
+        grads = self._example_gradients(rng, count=3)
+        strategy = NonZeroPerturbation(2.0, 5.0, seed=1)
+        result = strategy.perturb(grads, num_nodes=10, embedding_dim=4)
+        touched_in = {g.center for g in grads}
+        untouched_in = set(range(10)) - touched_in
+        for row in untouched_in:
+            np.testing.assert_allclose(result.w_in_gradient[row], 0.0)
+        assert any(np.any(result.w_in_gradient[row] != 0) for row in touched_in)
+
+    def test_naive_noises_every_row(self, rng):
+        grads = self._example_gradients(rng, count=3)
+        strategy = NaivePerturbation(2.0, 5.0, seed=1)
+        result = strategy.perturb(grads, num_nodes=10, embedding_dim=4)
+        assert np.all(np.any(result.w_in_gradient != 0, axis=1))
+
+    def test_naive_noise_is_much_larger(self, rng):
+        grads = self._example_gradients(rng, count=8)
+        naive = NaivePerturbation(2.0, 5.0, seed=2).perturb(grads, 10, 4)
+        nonzero = NonZeroPerturbation(2.0, 5.0, seed=2).perturb(grads, 10, 4)
+        assert np.linalg.norm(naive.w_in_gradient) > 3 * np.linalg.norm(nonzero.w_in_gradient)
+
+    def test_counts_track_batch_composition(self, rng):
+        grads = self._example_gradients(rng, count=5)
+        result = NonZeroPerturbation(2.0, 5.0, seed=0).perturb(grads, 10, 4)
+        assert result.w_in_counts.sum() == 5
+        assert result.w_out_counts.sum() == 5 * 3  # positive + 2 negatives each
+        assert result.batch_size == 5
+
+    def test_normalisation_helpers(self, rng):
+        grads = self._example_gradients(rng, count=4)
+        result = NonZeroPerturbation(2.0, 5.0, seed=0).perturb(grads, 10, 4)
+        by_batch_in, _ = result.averaged_by_batch()
+        by_row_in, _ = result.averaged_by_row_counts()
+        np.testing.assert_allclose(by_batch_in * result.batch_size, result.w_in_gradient)
+        # rows touched exactly once are identical to the raw sum under per-row averaging
+        once = np.where(result.w_in_counts == 1)[0]
+        np.testing.assert_allclose(by_row_in[once], result.w_in_gradient[once])
+
+    def test_empty_batch_rejected(self):
+        strategy = NonZeroPerturbation(2.0, 5.0, seed=0)
+        with pytest.raises(TrainingError):
+            strategy.perturb([], num_nodes=5, embedding_dim=3)
+
+    def test_registry_lookup(self):
+        assert isinstance(get_perturbation("naive", 2.0, 5.0), NaivePerturbation)
+        assert isinstance(get_perturbation("nonzero", 2.0, 5.0), NonZeroPerturbation)
+        with pytest.raises(ConfigurationError):
+            get_perturbation("unknown", 2.0, 5.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            NonZeroPerturbation(0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            NaivePerturbation(2.0, 0.0)

@@ -1,0 +1,169 @@
+"""Tests for the metrics, link-prediction splits and the two downstream tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EvaluationError, Graph
+from repro.evaluation import (
+    link_prediction_auc,
+    make_link_prediction_split,
+    pearson_correlation,
+    roc_auc_score,
+    score_edges,
+    structural_equivalence_score,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 3) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=100)
+        y = 0.3 * x + rng.normal(size=100)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1], abs=1e-10)
+
+    def test_constant_vector_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_too_short_raises(self):
+        with pytest.raises(EvaluationError):
+            pearson_correlation(np.ones(1), np.ones(1))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_give_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=2000)
+        while labels.sum() in (0, len(labels)):
+            labels = rng.integers(0, 2, size=2000)
+        scores = rng.normal(size=2000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_handled_via_average_ranks(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(EvaluationError):
+            roc_auc_score(np.ones(4), np.arange(4.0))
+
+
+class TestLinkPredictionSplit:
+    def test_split_sizes(self, medium_graph):
+        split = make_link_prediction_split(medium_graph, test_fraction=0.1, seed=0)
+        expected_test = max(1, int(round(0.1 * medium_graph.num_edges)))
+        assert len(split.test_positive) == expected_test
+        assert len(split.test_negative) == expected_test
+        assert len(split.train_positive) == medium_graph.num_edges - expected_test
+        assert len(split.train_negative) == len(split.train_positive)
+
+    def test_training_graph_excludes_test_edges(self, medium_graph):
+        split = make_link_prediction_split(medium_graph, seed=1)
+        for u, v in split.test_positive:
+            assert not split.training_graph.has_edge(int(u), int(v))
+        assert split.training_graph.num_edges == len(split.train_positive)
+
+    def test_negatives_are_non_edges(self, medium_graph):
+        split = make_link_prediction_split(medium_graph, seed=2)
+        for u, v in np.vstack([split.test_negative, split.train_negative]):
+            assert not medium_graph.has_edge(int(u), int(v))
+
+    def test_labels_and_pairs_layout(self, medium_graph):
+        split = make_link_prediction_split(medium_graph, seed=3)
+        labels, pairs = split.test_labels_and_pairs()
+        assert labels.sum() == len(split.test_positive)
+        assert len(labels) == len(pairs)
+        np.testing.assert_array_equal(pairs[: len(split.test_positive)], split.test_positive)
+
+    def test_deterministic_given_seed(self, medium_graph):
+        a = make_link_prediction_split(medium_graph, seed=5)
+        b = make_link_prediction_split(medium_graph, seed=5)
+        np.testing.assert_array_equal(a.test_positive, b.test_positive)
+
+    def test_invalid_fraction_or_tiny_graph(self, medium_graph):
+        with pytest.raises(EvaluationError):
+            make_link_prediction_split(medium_graph, test_fraction=0.0)
+        tiny = Graph(4, [(0, 1), (1, 2)])
+        with pytest.raises(EvaluationError):
+            make_link_prediction_split(tiny)
+
+
+class TestScoreEdges:
+    def test_dot_scorer(self):
+        emb = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        scores = score_edges(emb, np.array([[0, 2], [0, 1]]), scorer="dot")
+        np.testing.assert_allclose(scores, [1.0, 0.0])
+
+    def test_cosine_scorer_bounded(self, rng):
+        emb = rng.normal(size=(10, 4))
+        pairs = np.array([[i, (i + 1) % 10] for i in range(10)])
+        scores = score_edges(emb, pairs, scorer="cosine")
+        assert np.all(np.abs(scores) <= 1.0 + 1e-9)
+
+    def test_negative_euclidean_ranks_close_pairs_higher(self):
+        emb = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        scores = score_edges(emb, np.array([[0, 1], [0, 2]]), scorer="negative_euclidean")
+        assert scores[0] > scores[1]
+
+    def test_invalid_inputs(self, rng):
+        emb = rng.normal(size=(5, 3))
+        with pytest.raises(EvaluationError):
+            score_edges(emb, np.zeros((3, 3), dtype=int))
+        with pytest.raises(EvaluationError):
+            score_edges(emb, np.array([[0, 1]]), scorer="manhattan")
+
+
+class TestStructuralEquivalence:
+    def test_adjacency_rows_give_high_score(self, medium_graph):
+        """Embedding each node by its own adjacency row must recover structure well."""
+        adjacency = np.asarray(medium_graph.adjacency_matrix(dense=True))
+        score = structural_equivalence_score(medium_graph, adjacency)
+        assert score > 0.9
+
+    def test_random_embeddings_score_near_zero(self, medium_graph, rng):
+        random_embeddings = rng.normal(size=(medium_graph.num_nodes, 16))
+        score = structural_equivalence_score(medium_graph, random_embeddings)
+        assert abs(score) < 0.25
+
+    def test_sampled_pairs_close_to_exhaustive(self, medium_graph, rng):
+        embeddings = rng.normal(size=(medium_graph.num_nodes, 8)) + np.asarray(
+            medium_graph.adjacency_matrix(dense=True)
+        )[:, :8]
+        exact = structural_equivalence_score(medium_graph, embeddings, max_pairs=None)
+        sampled = structural_equivalence_score(medium_graph, embeddings, max_pairs=3000, seed=0)
+        assert abs(exact - sampled) < 0.1
+
+    def test_shape_mismatch_raises(self, medium_graph, rng):
+        with pytest.raises(EvaluationError):
+            structural_equivalence_score(medium_graph, rng.normal(size=(3, 4)))
+
+    def test_link_prediction_auc_with_informative_embeddings(self, medium_graph):
+        """Adjacency-row embeddings should beat random guessing on held-out links."""
+        split = make_link_prediction_split(medium_graph, seed=0)
+        adjacency = np.asarray(split.training_graph.adjacency_matrix(dense=True))
+        auc = link_prediction_auc(adjacency, split, scorer="dot")
+        assert auc > 0.6
+
+    def test_link_prediction_auc_with_random_embeddings(self, medium_graph, rng):
+        split = make_link_prediction_split(medium_graph, seed=0)
+        auc = link_prediction_auc(rng.normal(size=(medium_graph.num_nodes, 8)), split)
+        assert 0.3 < auc < 0.7

@@ -1,0 +1,159 @@
+"""Tests for the experiment harness: settings, result tables, runner, sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, PrivacyConfig, TrainingConfig
+from repro.experiments import (
+    ExperimentSettings,
+    PAPER_EPSILONS,
+    PAPER_METHODS,
+    ResultTable,
+    embed_with_method,
+    evaluate_link_prediction,
+    evaluate_structural_equivalence,
+    figure_link_prediction,
+    figure_structural_equivalence,
+    table_batch_size,
+    table_perturbation,
+)
+from repro.experiments.runner import METHOD_NAMES, is_private_method
+from repro.graph import load_dataset
+
+FAST_TRAINING = TrainingConfig(
+    embedding_dim=8, batch_size=24, learning_rate=0.1, negative_samples=3, epochs=6
+)
+FAST_PRIVACY = PrivacyConfig(epsilon=2.0)
+SMOKE = ExperimentSettings.smoke_test()
+
+
+class TestExperimentSettings:
+    def test_paper_constants(self):
+        assert PAPER_EPSILONS == (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+        assert len(PAPER_METHODS) == 8
+
+    def test_defaults_are_valid(self):
+        settings = ExperimentSettings()
+        assert settings.repeats >= 1
+        assert all(eps > 0 for eps in settings.epsilons)
+
+    def test_paper_scale_matches_reported_hyperparameters(self):
+        settings = ExperimentSettings.paper_scale()
+        assert settings.training.embedding_dim == 128
+        assert settings.training.batch_size == 128
+        assert settings.repeats == 10
+        assert len(settings.datasets) == 6
+
+    def test_with_updates(self):
+        settings = ExperimentSettings().with_updates(repeats=5)
+        assert settings.repeats == 5
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(datasets=())
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(repeats=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(epsilons=(0.0,))
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("demo")
+        table.add_row({"dataset": "x", "value": 0.5})
+        table.add_row({"dataset": "y", "value": 0.25, "extra": 1})
+        text = table.to_text()
+        assert "demo" in text
+        assert "0.5000" in text
+        assert len(table) == 2
+        assert table.columns() == ["dataset", "value", "extra"]
+
+    def test_filter_and_best_row(self):
+        table = ResultTable("demo")
+        table.add_row({"method": "a", "score": 0.3})
+        table.add_row({"method": "b", "score": 0.7})
+        assert len(table.filter(method="a")) == 1
+        assert table.best_row("score")["method"] == "b"
+        assert table.best_row("score", maximize=False)["method"] == "a"
+
+    def test_best_row_missing_metric_raises(self):
+        table = ResultTable("demo", rows=[{"a": 1}])
+        with pytest.raises(KeyError):
+            table.best_row("missing")
+
+    def test_column_extraction(self):
+        table = ResultTable("demo", rows=[{"a": 1, "b": 2}, {"a": 3}])
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, None]
+
+    def test_empty_table_renders(self):
+        assert "(empty)" in ResultTable("empty").to_text()
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("smallworld", num_nodes=60, seed=2)
+
+    def test_method_name_registry(self):
+        assert set(PAPER_METHODS) == set(METHOD_NAMES)
+        assert is_private_method("se_privgemb_dw")
+        assert not is_private_method("se_gemb_deg")
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_every_method_produces_embeddings(self, method, graph):
+        embeddings = embed_with_method(method, graph, FAST_TRAINING, FAST_PRIVACY, seed=0)
+        assert embeddings.shape == (graph.num_nodes, FAST_TRAINING.embedding_dim)
+        assert np.all(np.isfinite(embeddings))
+
+    def test_unknown_method_raises(self, graph):
+        with pytest.raises(ConfigurationError):
+            embed_with_method("unknown", graph, FAST_TRAINING, FAST_PRIVACY)
+
+    def test_evaluate_structural_equivalence_returns_mean_std(self, graph):
+        mean, std = evaluate_structural_equivalence(
+            "se_privgemb_deg", graph, FAST_TRAINING, FAST_PRIVACY, repeats=2, seed=0
+        )
+        assert -1.0 <= mean <= 1.0
+        assert std >= 0.0
+
+    def test_evaluate_link_prediction_returns_valid_auc(self, graph):
+        mean, std = evaluate_link_prediction(
+            "se_gemb_deg", graph, FAST_TRAINING, FAST_PRIVACY, repeats=2, seed=0
+        )
+        assert 0.0 <= mean <= 1.0
+        assert std >= 0.0
+
+
+class TestSweeps:
+    def test_table_batch_size_rows(self):
+        table = table_batch_size(SMOKE, batch_sizes=(16, 32))
+        # datasets × variants × values
+        assert len(table) == len(SMOKE.datasets) * 2 * 2
+        assert set(table.column("batch_size")) == {16, 32}
+        for value in table.column("strucequ_mean"):
+            assert -1.0 <= value <= 1.0
+
+    def test_table_perturbation_has_both_strategies(self):
+        table = table_perturbation(SMOKE, epsilons=(3.5,))
+        assert len(table) == len(SMOKE.datasets) * 2
+        for row in table.rows:
+            assert "naive_mean" in row and "nonzero_mean" in row
+
+    def test_figure_structural_equivalence_series(self):
+        table = figure_structural_equivalence(
+            SMOKE, methods=("se_privgemb_deg", "se_gemb_deg", "gap")
+        )
+        assert len(table) == len(SMOKE.datasets) * 3 * len(SMOKE.epsilons)
+        non_private = table.filter(method="se_gemb_deg")
+        values = non_private.column("strucequ_mean")
+        # non-private methods do not depend on ε: single value replicated
+        assert len(set(round(v, 12) for v in values)) == 1
+
+    def test_figure_link_prediction_series(self):
+        table = figure_link_prediction(SMOKE, methods=("se_privgemb_deg", "dpgvae"))
+        assert len(table) == len(SMOKE.datasets) * 2 * len(SMOKE.epsilons)
+        for value in table.column("auc_mean"):
+            assert 0.0 <= value <= 1.0

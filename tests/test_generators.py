@@ -1,0 +1,127 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GraphError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_with_rewiring_graph,
+    powerlaw_cluster_graph,
+    stochastic_block_model_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.validation import validate_simple_graph
+
+
+class TestErdosRenyi:
+    def test_extreme_probabilities(self):
+        empty = erdos_renyi_graph(10, 0.0, seed=0)
+        full = erdos_renyi_graph(10, 1.0, seed=0)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_edge_count_close_to_expectation(self):
+        g = erdos_renyi_graph(100, 0.1, seed=0)
+        expected = 0.1 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.35 * expected
+
+    def test_determinism(self):
+        a = erdos_renyi_graph(30, 0.2, seed=3)
+        b = erdos_renyi_graph(30, 0.2, seed=3)
+        assert a == b
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        g = barabasi_albert_graph(50, 3, seed=1)
+        assert g.num_nodes == 50
+        # each of the 47 added nodes contributes m=3 edges
+        assert g.num_edges == 47 * 3
+        validate_simple_graph(g)
+
+    def test_heavy_tailed_degrees(self):
+        g = barabasi_albert_graph(200, 2, seed=2)
+        degrees = g.degrees()
+        assert degrees.max() > 3 * np.median(degrees)
+
+    def test_rejects_m_not_smaller_than_n(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_keeps_ring_degree(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        np.testing.assert_array_equal(g.degrees(), np.full(20, 4))
+
+    def test_rewiring_preserves_edge_count_approximately(self):
+        base = watts_strogatz_graph(50, 4, 0.0, seed=0)
+        rewired = watts_strogatz_graph(50, 4, 0.5, seed=0)
+        assert abs(rewired.num_edges - base.num_edges) <= base.num_edges * 0.1
+        validate_simple_graph(rewired)
+
+    def test_rejects_odd_or_too_large_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, 6, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_basic_shape_and_validity(self):
+        g = powerlaw_cluster_graph(80, 4, 0.5, seed=4)
+        assert g.num_nodes == 80
+        assert g.num_edges >= 76 * 4  # triangle closure adds extra edges
+        validate_simple_graph(g)
+
+    def test_triangle_probability_increases_clustering(self):
+        flat = powerlaw_cluster_graph(120, 3, 0.0, seed=6)
+        clustered = powerlaw_cluster_graph(120, 3, 0.9, seed=6)
+        assert clustered.num_edges >= flat.num_edges
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestStochasticBlockModel:
+    def test_intra_block_denser_than_inter(self):
+        g = stochastic_block_model_graph([40, 40], 0.3, 0.01, seed=7)
+        adjacency = np.asarray(g.adjacency_matrix(dense=True))
+        intra = adjacency[:40, :40].sum() + adjacency[40:, 40:].sum()
+        inter = adjacency[:40, 40:].sum() * 2
+        assert intra > inter
+
+    def test_rejects_empty_or_negative_blocks(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model_graph([], 0.1, 0.1)
+        with pytest.raises(GraphError):
+            stochastic_block_model_graph([5, -1], 0.1, 0.1)
+
+
+class TestGrid:
+    def test_pure_grid_edge_count(self):
+        g = grid_with_rewiring_graph(5, 4, 0.0)
+        # rows*(cols-1) + cols*(rows-1) = 5*3 + 4*4 = 31
+        assert g.num_edges == 31
+        assert g.num_nodes == 20
+
+    def test_rewired_grid_stays_valid(self):
+        g = grid_with_rewiring_graph(8, 8, 0.2, seed=9)
+        validate_simple_graph(g)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_with_rewiring_graph(0, 5)

@@ -1,0 +1,146 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipeline the README quickstart describes: load a
+dataset, compute a proximity, train private and non-private embeddings,
+and evaluate both downstream tasks — plus the qualitative claims of the
+paper that the reproduction is expected to preserve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyConfig,
+    SEGEmbTrainer,
+    SEPrivGEmbTrainer,
+    TrainingConfig,
+    link_prediction_auc,
+    load_dataset,
+    make_link_prediction_split,
+    structural_equivalence_score,
+)
+from repro.baselines import get_baseline
+from repro.proximity import DeepWalkProximity, DegreeProximity
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def graph():
+    """A chameleon stand-in big enough for the qualitative claims to show."""
+    return load_dataset("chameleon", num_nodes=120, seed=0)
+
+
+@pytest.fixture(scope="module")
+def training_config():
+    return TrainingConfig(
+        embedding_dim=16, batch_size=96, learning_rate=0.1, negative_samples=5, epochs=250
+    )
+
+
+class TestEndToEndPipeline:
+    def test_quickstart_pipeline(self, graph):
+        """The README quickstart: private training + both evaluations."""
+        config = TrainingConfig(
+            embedding_dim=16, batch_size=64, learning_rate=0.1, negative_samples=3, epochs=15
+        )
+        trainer = SEPrivGEmbTrainer(
+            graph,
+            DeepWalkProximity(window_size=3),
+            training_config=config,
+            privacy_config=PrivacyConfig(epsilon=2.0),
+            seed=0,
+        )
+        result = trainer.train()
+        assert result.privacy_spent.epsilon <= 2.0 + 1e-9
+
+        strucequ = structural_equivalence_score(graph, result.embeddings)
+        assert -1.0 <= strucequ <= 1.0
+
+        split = make_link_prediction_split(graph, seed=0)
+        auc = link_prediction_auc(result.embeddings, split)
+        assert 0.0 <= auc <= 1.0
+
+    def test_nonprivate_training_learns_structure(self, graph, training_config):
+        """SE-GEmb must clearly beat random embeddings on structural equivalence."""
+        trainer = SEGEmbTrainer(graph, DeepWalkProximity(window_size=5), config=training_config, seed=0)
+        result = trainer.train()
+        learned = structural_equivalence_score(graph, result.embeddings)
+        random_score = structural_equivalence_score(
+            graph, np.random.default_rng(0).normal(size=result.embeddings.shape)
+        )
+        assert learned > random_score + 0.2
+        assert learned > 0.3
+
+    def test_nonzero_beats_naive_perturbation(self, graph, training_config):
+        """The Table-VI ablation: non-zero perturbation preserves far more utility."""
+        common = dict(
+            training_config=training_config,
+            privacy_config=PrivacyConfig(epsilon=3.5),
+            seed=1,
+        )
+        nonzero = SEPrivGEmbTrainer(
+            graph, DeepWalkProximity(window_size=5), perturbation="nonzero", **common
+        ).train()
+        naive = SEPrivGEmbTrainer(
+            graph, DeepWalkProximity(window_size=5), perturbation="naive", **common
+        ).train()
+        score_nonzero = structural_equivalence_score(graph, nonzero.embeddings)
+        score_naive = structural_equivalence_score(graph, naive.embeddings)
+        assert score_nonzero > score_naive + 0.1
+
+    def test_private_methods_beat_gnn_baselines(self, graph, training_config):
+        """The Figure-3 ordering: SE-PrivGEmb above the aggregation-perturbation GNNs."""
+        privacy = PrivacyConfig(epsilon=3.5)
+        se_priv = SEPrivGEmbTrainer(
+            graph,
+            DegreeProximity(),
+            training_config=training_config,
+            privacy_config=privacy,
+            seed=2,
+        ).train()
+        se_priv_score = structural_equivalence_score(graph, se_priv.embeddings)
+
+        for baseline_name in ("gap", "progap"):
+            baseline = get_baseline(
+                baseline_name,
+                training_config=training_config,
+                privacy_config=privacy,
+                seed=2,
+            )
+            baseline_score = structural_equivalence_score(graph, baseline.fit(graph))
+            assert se_priv_score > baseline_score
+
+    def test_privacy_budget_controls_training_length(self, graph, training_config):
+        """Smaller ε must stop training earlier (Algorithm 2 lines 8-10)."""
+        def epochs_at(epsilon):
+            trainer = SEPrivGEmbTrainer(
+                graph,
+                DegreeProximity(),
+                training_config=training_config.with_updates(epochs=10_000),
+                privacy_config=PrivacyConfig(epsilon=epsilon),
+                seed=0,
+            )
+            return trainer.max_private_epochs()
+
+        assert epochs_at(0.5) < epochs_at(2.0) < epochs_at(3.5)
+
+    def test_post_processing_keeps_embeddings_usable_for_both_tasks(self, graph):
+        """Theorem 2: downstream tasks consume the same private embeddings."""
+        config = TrainingConfig(
+            embedding_dim=16, batch_size=64, learning_rate=0.1, negative_samples=3, epochs=20
+        )
+        split = make_link_prediction_split(graph, seed=3)
+        result = SEPrivGEmbTrainer(
+            split.training_graph,
+            DegreeProximity(),
+            training_config=config,
+            privacy_config=PrivacyConfig(epsilon=3.5),
+            seed=3,
+        ).train()
+        auc = link_prediction_auc(result.embeddings, split)
+        strucequ = structural_equivalence_score(split.training_graph, result.embeddings)
+        assert 0.0 <= auc <= 1.0
+        assert -1.0 <= strucequ <= 1.0

@@ -1,0 +1,182 @@
+"""Tests for the proximity measures and the ProximityMatrix wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, ProximityError
+from repro.proximity import (
+    AdamicAdarProximity,
+    CommonNeighborsProximity,
+    DeepWalkProximity,
+    DegreeProximity,
+    JaccardProximity,
+    KatzProximity,
+    PersonalizedPageRankProximity,
+    PreferentialAttachmentProximity,
+    ProximityMatrix,
+    ResourceAllocationProximity,
+    available_proximities,
+    get_proximity,
+)
+
+ALL_MEASURES = [
+    CommonNeighborsProximity(),
+    PreferentialAttachmentProximity(),
+    JaccardProximity(),
+    AdamicAdarProximity(),
+    ResourceAllocationProximity(),
+    KatzProximity(beta=0.05),
+    PersonalizedPageRankProximity(damping=0.85),
+    DeepWalkProximity(window_size=3),
+    DegreeProximity(),
+]
+
+
+class TestProximityMatrix:
+    def test_basic_derived_quantities(self):
+        matrix = np.array([[0.0, 2.0, 0.5], [2.0, 0.0, 0.0], [0.5, 0.0, 0.0]])
+        prox = ProximityMatrix(matrix, name="toy")
+        assert prox.num_nodes == 3
+        assert prox.min_positive == pytest.approx(0.5)
+        np.testing.assert_allclose(prox.row_sums, [2.5, 2.0, 0.5])
+        assert prox.pair_value(0, 1) == pytest.approx(2.0)
+        np.testing.assert_allclose(
+            prox.pair_values([0, 0], [1, 2]), [2.0, 0.5]
+        )
+
+    def test_negative_sampling_mass(self):
+        matrix = np.array([[0.0, 2.0], [2.0, 0.0]])
+        prox = ProximityMatrix(matrix)
+        assert prox.negative_sampling_mass(0) == pytest.approx(2.0 / 2.0 * 1.0)
+        assert 0 < prox.negative_sampling_mass(0) <= 1.0
+
+    def test_theoretical_optimum_eq10(self):
+        matrix = np.array([[0.0, 4.0, 1.0], [4.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        prox = ProximityMatrix(matrix)
+        k = 2
+        expected = np.log(4.0 / (k * 1.0))
+        assert prox.theoretical_optimal_inner_product(0, 1, k) == pytest.approx(expected)
+        assert prox.theoretical_optimal_inner_product(1, 2, k) == float("-inf")
+
+    def test_rejects_invalid_matrices(self):
+        with pytest.raises(ProximityError):
+            ProximityMatrix(np.ones((2, 3)))
+        with pytest.raises(ProximityError):
+            ProximityMatrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ProximityError):
+            ProximityMatrix(np.array([[0.0, np.nan], [np.nan, 0.0]]))
+
+    def test_normalized_peak_is_one(self):
+        matrix = np.array([[0.0, 8.0], [8.0, 0.0]])
+        normed = ProximityMatrix(matrix).normalized()
+        assert normed.matrix.max() == pytest.approx(1.0)
+
+
+class TestMeasureProperties:
+    @pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+    def test_shape_nonnegative_zero_diagonal(self, measure, small_graph):
+        prox = measure.compute(small_graph)
+        n = small_graph.num_nodes
+        assert prox.matrix.shape == (n, n)
+        assert np.all(prox.matrix >= 0)
+        np.testing.assert_allclose(np.diag(prox.matrix), np.zeros(n))
+
+    @pytest.mark.parametrize(
+        "measure",
+        [
+            CommonNeighborsProximity(),
+            PreferentialAttachmentProximity(),
+            JaccardProximity(),
+            AdamicAdarProximity(),
+            ResourceAllocationProximity(),
+            KatzProximity(beta=0.05),
+            DeepWalkProximity(window_size=3),
+            DegreeProximity(),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_symmetry_for_symmetric_measures(self, measure, small_graph):
+        # PPR is row-normalised by design and therefore not symmetric; all the
+        # others must be symmetric on an undirected graph.
+        matrix = measure.compute(small_graph).matrix
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-8)
+
+
+class TestSpecificValues:
+    def test_common_neighbors_on_triangle(self, triangle_graph):
+        prox = CommonNeighborsProximity().compute(triangle_graph)
+        # nodes 1 and 2 share neighbour 0; nodes 1 and 3 share neighbour 0 too
+        assert prox.pair_value(1, 2) == pytest.approx(1.0)
+        assert prox.pair_value(1, 3) == pytest.approx(1.0)
+        # nodes 0 and 3: neighbours of 3 = {0}, no common neighbour with 0
+        assert prox.pair_value(0, 3) == pytest.approx(0.0)
+
+    def test_preferential_attachment_values(self, triangle_graph):
+        prox = PreferentialAttachmentProximity().compute(triangle_graph)
+        degrees = triangle_graph.degrees()
+        assert prox.pair_value(0, 1) == pytest.approx(degrees[0] * degrees[1])
+
+    def test_jaccard_bounded_by_one(self, small_graph):
+        matrix = JaccardProximity().compute(small_graph).matrix
+        assert matrix.max() <= 1.0 + 1e-9
+
+    def test_adamic_adar_on_square(self):
+        square = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        prox = AdamicAdarProximity().compute(square)
+        # 0 and 2 share neighbours 1 and 3, each of degree 2
+        assert prox.pair_value(0, 2) == pytest.approx(2.0 / np.log(2.0))
+
+    def test_resource_allocation_on_square(self):
+        square = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        prox = ResourceAllocationProximity().compute(square)
+        assert prox.pair_value(0, 2) == pytest.approx(1.0)
+
+    def test_katz_requires_convergent_beta(self, small_graph):
+        with pytest.raises(ProximityError):
+            KatzProximity(beta=10.0).compute(small_graph)
+        with pytest.raises(ProximityError):
+            KatzProximity(beta=0.0)
+
+    def test_katz_matches_series_expansion(self, path_graph):
+        beta = 0.05
+        adjacency = np.asarray(path_graph.adjacency_matrix(dense=True))
+        series = sum(beta**t * np.linalg.matrix_power(adjacency, t) for t in range(1, 30))
+        katz = KatzProximity(beta=beta).compute(path_graph).matrix
+        np.testing.assert_allclose(katz, series - np.diag(np.diag(series)), atol=1e-6)
+
+    def test_ppr_rows_approximately_stochastic(self, small_graph):
+        matrix = PersonalizedPageRankProximity(damping=0.85).compute(small_graph).matrix
+        # after removing the diagonal, rows sum to slightly less than one
+        sums = matrix.sum(axis=1)
+        assert np.all(sums <= 1.0 + 1e-9)
+        assert np.all(sums > 0.5)
+
+    def test_deepwalk_proximity_positive_on_edges(self, small_graph):
+        prox = DeepWalkProximity(window_size=3).compute(small_graph)
+        for u, v in small_graph.edges[:20]:
+            assert prox.pair_value(int(u), int(v)) > 0
+
+    def test_degree_proximity_connected_only(self, star_graph):
+        connected = DegreeProximity(connected_only=True).compute(star_graph)
+        full = DegreeProximity(connected_only=False).compute(star_graph)
+        assert connected.pair_value(1, 2) == pytest.approx(0.0)
+        assert full.pair_value(1, 2) > 0
+        assert connected.pair_value(0, 1) > 0
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self, small_graph):
+        for name in available_proximities():
+            measure = get_proximity(name)
+            prox = measure.compute(small_graph)
+            assert prox.matrix.shape == (small_graph.num_nodes, small_graph.num_nodes)
+
+    def test_kwargs_forwarded(self):
+        measure = get_proximity("deepwalk", window_size=7)
+        assert measure.window_size == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ProximityError):
+            get_proximity("unknown-proximity")

@@ -1,0 +1,148 @@
+"""Tests for Algorithm 1 (disjoint subgraphs) and the negative samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, GraphError
+from repro.graph.sampling import (
+    EdgeSubgraph,
+    ProximityNegativeSampler,
+    SubgraphSampler,
+    UnigramNegativeSampler,
+    generate_disjoint_subgraphs,
+)
+from repro.proximity import DeepWalkProximity
+
+
+class TestUnigramNegativeSampler:
+    def test_negatives_are_never_neighbors(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        for node in range(0, small_graph.num_nodes, 7):
+            negatives = sampler.sample_negatives(node, 5)
+            assert negatives.shape == (5,)
+            neighbor_set = set(small_graph.neighbors(node).tolist())
+            for neg in negatives:
+                assert int(neg) not in neighbor_set
+                assert int(neg) != node
+
+    def test_higher_degree_nodes_sampled_more_often(self, star_graph):
+        # In a star the centre has degree 5, leaves degree 1; sampling negatives
+        # for a leaf should hit the centre more often than any other leaf.
+        sampler = UnigramNegativeSampler(star_graph, power=1.0, seed=0)
+        counts = np.zeros(star_graph.num_nodes)
+        for _ in range(300):
+            negatives = sampler.sample_negatives(1, 1)
+            counts[negatives[0]] += 1
+        # node 0 (centre) is a neighbour of node 1, so it can never appear;
+        # remaining mass is spread over the other leaves roughly uniformly.
+        assert counts[0] == 0
+        assert counts[1] == 0
+
+    def test_complete_graph_raises(self):
+        complete = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        sampler = UnigramNegativeSampler(complete, seed=0)
+        with pytest.raises(GraphError):
+            sampler.sample_negatives(0, 1)
+
+    def test_rejects_negative_count(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        with pytest.raises(GraphError):
+            sampler.sample_negatives(0, -1)
+
+
+class TestProximityNegativeSampler:
+    def test_negative_probability_formula(self, small_graph):
+        proximity = DeepWalkProximity(window_size=2).compute(small_graph)
+        sampler = ProximityNegativeSampler(
+            small_graph,
+            proximity_row_sums=proximity.row_sums,
+            min_positive_proximity=proximity.min_positive,
+            seed=0,
+        )
+        node = 0
+        expected = proximity.min_positive / proximity.row_sums[node]
+        assert sampler.negative_probability(node) == pytest.approx(expected)
+        # Theorem 3 requires the mass to be a valid probability.
+        assert 0.0 < sampler.negative_probability(node) < 1.0
+
+    def test_samples_avoid_neighbors(self, small_graph):
+        proximity = DeepWalkProximity(window_size=2).compute(small_graph)
+        sampler = ProximityNegativeSampler(
+            small_graph, proximity.row_sums, proximity.min_positive, seed=1
+        )
+        negatives = sampler.sample_negatives(3, 10)
+        neighbor_set = set(small_graph.neighbors(3).tolist())
+        assert all(int(n) not in neighbor_set for n in negatives)
+
+    def test_rejects_bad_inputs(self, small_graph):
+        proximity = DeepWalkProximity(window_size=2).compute(small_graph)
+        with pytest.raises(GraphError):
+            ProximityNegativeSampler(small_graph, proximity.row_sums[:-1], 0.1)
+        with pytest.raises(GraphError):
+            ProximityNegativeSampler(small_graph, proximity.row_sums, 0.0)
+
+
+class TestGenerateDisjointSubgraphs:
+    def test_one_subgraph_per_edge(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        subgraphs = generate_disjoint_subgraphs(small_graph, sampler, num_negatives=4)
+        assert len(subgraphs) == small_graph.num_edges
+        for sub in subgraphs:
+            assert small_graph.has_edge(sub.center, sub.positive)
+            assert sub.negatives.shape == (4,)
+            for neg in sub.negatives:
+                assert not small_graph.has_edge(sub.center, int(neg))
+
+    def test_both_directions_doubles_count(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        subgraphs = generate_disjoint_subgraphs(
+            small_graph, sampler, num_negatives=2, both_directions=True
+        )
+        assert len(subgraphs) == 2 * small_graph.num_edges
+
+    def test_all_context_nodes_layout(self):
+        sub = EdgeSubgraph(center=0, positive=1, negatives=np.array([2, 3]))
+        np.testing.assert_array_equal(sub.all_context_nodes(), [1, 2, 3])
+
+    def test_rejects_bad_k_and_empty_graph(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        with pytest.raises(GraphError):
+            generate_disjoint_subgraphs(small_graph, sampler, num_negatives=0)
+        empty = Graph(3, [])
+        with pytest.raises(GraphError):
+            generate_disjoint_subgraphs(empty, UnigramNegativeSampler(empty, seed=0), 2)
+
+
+class TestSubgraphSampler:
+    def _subgraphs(self, graph, k=3):
+        sampler = UnigramNegativeSampler(graph, seed=0)
+        return generate_disjoint_subgraphs(graph, sampler, num_negatives=k)
+
+    def test_sampling_rate(self, small_graph):
+        subgraphs = self._subgraphs(small_graph)
+        sampler = SubgraphSampler(subgraphs, batch_size=16, seed=0)
+        assert sampler.sampling_rate == pytest.approx(16 / len(subgraphs))
+        assert len(sampler) == len(subgraphs)
+
+    def test_batch_without_replacement(self, small_graph):
+        subgraphs = self._subgraphs(small_graph)
+        sampler = SubgraphSampler(subgraphs, batch_size=20, seed=0)
+        batch = sampler.sample_batch()
+        assert len(batch) == 20
+        ids = [id(sub) for sub in batch]
+        assert len(set(ids)) == 20
+
+    def test_batch_larger_than_population_is_capped(self, path_graph):
+        subgraphs = self._subgraphs(path_graph, k=1)
+        sampler = SubgraphSampler(subgraphs, batch_size=100, seed=0)
+        assert sampler.batch_size == len(subgraphs)
+        assert sampler.sampling_rate == pytest.approx(1.0)
+
+    def test_rejects_empty_subgraphs_or_bad_batch(self, small_graph):
+        with pytest.raises(GraphError):
+            SubgraphSampler([], batch_size=4)
+        subgraphs = self._subgraphs(small_graph)
+        with pytest.raises(GraphError):
+            SubgraphSampler(subgraphs, batch_size=0)

@@ -1,0 +1,112 @@
+"""Tests for numerically stable math utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.math import (
+    clip_norm,
+    log_sigmoid,
+    pairwise_euclidean,
+    row_l2_norms,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+
+
+class TestSigmoid:
+    def test_matches_definition_in_moderate_range(self):
+        x = np.linspace(-10, 10, 41)
+        expected = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(sigmoid(x), expected, rtol=1e-12)
+
+    def test_extreme_values_do_not_overflow(self):
+        assert sigmoid(1e6) == pytest.approx(1.0)
+        assert sigmoid(-1e6) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        x = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x), rtol=1e-12)
+
+
+class TestLogSigmoid:
+    def test_matches_log_of_sigmoid(self):
+        x = np.linspace(-20, 20, 81)
+        np.testing.assert_allclose(log_sigmoid(x), np.log(sigmoid(x)), atol=1e-10)
+
+    def test_no_overflow_for_large_negatives(self):
+        value = log_sigmoid(-1000.0)
+        assert np.isfinite(value)
+        assert value == pytest.approx(-1000.0, rel=1e-6)
+
+    def test_zero_input(self):
+        assert float(log_sigmoid(0.0)) == pytest.approx(np.log(0.5))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        out = softmax(x, axis=1)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=10)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-9)
+
+
+class TestStableLog:
+    def test_floors_at_given_value(self):
+        assert stable_log(0.0, floor=1e-12) == pytest.approx(np.log(1e-12))
+
+    def test_passes_through_positive_values(self):
+        assert stable_log(2.0) == pytest.approx(np.log(2.0))
+
+
+class TestClipNorm:
+    def test_leaves_small_vectors_untouched(self):
+        v = np.array([0.1, 0.2])
+        np.testing.assert_allclose(clip_norm(v, 1.0), v)
+
+    def test_scales_large_vectors_to_threshold(self):
+        v = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_norm(v, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        np.testing.assert_allclose(clipped, v / 5.0)
+
+    def test_matrix_clipping_uses_global_norm(self):
+        m = np.ones((2, 2)) * 10.0
+        clipped = clip_norm(m, 2.0)
+        assert np.linalg.norm(clipped) == pytest.approx(2.0)
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError):
+            clip_norm(np.ones(3), 0.0)
+
+
+class TestRowL2Norms:
+    def test_known_values(self):
+        m = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(row_l2_norms(m), [5.0, 0.0, 1.0])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            row_l2_norms(np.ones(4))
+
+
+class TestPairwiseEuclidean:
+    def test_matches_naive_computation(self, rng):
+        x = rng.normal(size=(12, 4))
+        fast = pairwise_euclidean(x)
+        naive = np.sqrt(((x[:, None, :] - x[None, :, :]) ** 2).sum(-1))
+        np.testing.assert_allclose(fast, naive, atol=1e-6)
+
+    def test_diagonal_is_zero(self, rng):
+        x = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(np.diag(pairwise_euclidean(x)), np.zeros(6), atol=1e-9)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(8, 5))
+        d = pairwise_euclidean(x)
+        np.testing.assert_allclose(d, d.T, atol=1e-10)

@@ -1,0 +1,119 @@
+"""Tests for RNG handling, statistics accumulators, timers and logging helpers."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import RunningStats, summarize_runs
+from repro.utils.timer import Timer
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_existing_generator_is_passed_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [r.random(4).tolist() for r in rngs]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_deterministic_given_seed(self):
+        a = [r.random(3).tolist() for r in spawn_rngs(5, 2)]
+        b = [r.random(3).tolist() for r in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestRunningStats:
+    def test_mean_and_std_match_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, size=50)
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.count == 50
+        assert stats.mean == pytest.approx(float(values.mean()), rel=1e-9)
+        assert stats.std == pytest.approx(float(values.std(ddof=1)), rel=1e-9)
+
+    def test_empty_stats_are_zero(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_single_observation_has_zero_variance(self):
+        stats = RunningStats()
+        stats.update(4.2)
+        assert stats.mean == pytest.approx(4.2)
+        assert stats.variance == 0.0
+
+
+class TestSummarizeRuns:
+    def test_mean_std_and_count(self):
+        summary = summarize_runs([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.count == 3
+
+    def test_single_run_has_zero_std(self):
+        summary = summarize_runs([0.7])
+        assert summary.std == 0.0
+
+    def test_empty_runs(self):
+        summary = summarize_runs([])
+        assert summary.count == 0
+
+    def test_str_formats_like_paper_cells(self):
+        assert str(summarize_runs([0.45, 0.45])) == "0.4500±0.0000"
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed > 0.0
+        assert t.elapsed == elapsed
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        logger = get_logger("something")
+        assert logger.name == "repro.something"
+
+    def test_keeps_existing_repro_prefix(self):
+        logger = get_logger("repro.embedding")
+        assert logger.name == "repro.embedding"
+
+    def test_returns_standard_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)
