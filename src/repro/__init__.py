@@ -40,6 +40,12 @@ from .proximity import (
     available_proximities,
 )
 from .privacy import RdpAccountant, MomentsAccountant, GaussianMechanism
+from .engine import (
+    BatchGradients,
+    SubgraphBatch,
+    TrainingEngine,
+    EngineResult,
+)
 from .embedding import (
     SkipGramModel,
     SEGEmbTrainer,
@@ -87,6 +93,10 @@ __all__ = [
     "RdpAccountant",
     "MomentsAccountant",
     "GaussianMechanism",
+    "BatchGradients",
+    "SubgraphBatch",
+    "TrainingEngine",
+    "EngineResult",
     "SkipGramModel",
     "SEGEmbTrainer",
     "SEPrivGEmbTrainer",

@@ -71,5 +71,22 @@ class SGDOptimizer:
             )
         np.subtract.at(parameters, rows, self.current_rate * gradient_rows)
 
+    def descend_unique_rows(
+        self, parameters: np.ndarray, rows: np.ndarray, gradient_rows: np.ndarray
+    ) -> None:
+        """Sparse descent when ``rows`` are known to be unique.
+
+        Identical update to :meth:`descend_rows`, but uses plain fancy
+        indexing instead of ``np.subtract.at`` — several times faster, and
+        safe only because no row appears twice.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        gradient_rows = np.asarray(gradient_rows, dtype=float)
+        if gradient_rows.shape[0] != rows.shape[0]:
+            raise ConfigurationError(
+                "rows and gradient_rows must have the same leading dimension"
+            )
+        parameters[rows] -= self.current_rate * gradient_rows
+
     def __repr__(self) -> str:
         return f"SGDOptimizer(learning_rate={self.learning_rate}, decay={self.decay})"

@@ -14,6 +14,10 @@ Training loop, per epoch:
 The published output is the pair ``(W_in, W_out)``; by post-processing
 (Theorem 2) any downstream task computed from them retains the same
 node-level DP guarantee.
+
+The loop itself is :class:`~repro.engine.TrainingEngine`; this class is a
+thin configuration of it — the clip→noise→average update rule plus the RDP
+accounting and iterate-averaging hooks.
 """
 
 from __future__ import annotations
@@ -23,13 +27,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import PrivacyConfig, TrainingConfig
+from ..engine import (
+    IterateAveragingHook,
+    PerturbedUpdate,
+    RdpAccountingHook,
+    SubgraphBatch,
+    TrainingEngine,
+)
 from ..exceptions import TrainingError
 from ..graph import Graph
 from ..graph.sampling import (
     EdgeSubgraph,
     ProximityNegativeSampler,
     SubgraphSampler,
-    generate_disjoint_subgraphs,
+    generate_disjoint_subgraph_arrays,
 )
 from ..privacy.accountant import PrivacySpent, RdpAccountant
 from ..proximity.base import ProximityMatrix, ProximityMeasure
@@ -147,11 +158,15 @@ class SEPrivGEmbTrainer:
             min_positive_proximity=max(self.proximity_matrix.min_positive, 1e-12),
             seed=self._rng,
         )
-        self._subgraphs: list[EdgeSubgraph] = generate_disjoint_subgraphs(
+        pool = generate_disjoint_subgraph_arrays(
             graph, negative_sampler, self.training_config.negative_samples
         )
+        # Proximity weights bound once; batches slice them on the hot path.
+        self._subgraph_pool: SubgraphBatch = pool.with_weights(
+            self.objective.edge_weights(pool.centers, pool.positives)
+        )
         self._sampler = SubgraphSampler(
-            self._subgraphs, self.training_config.batch_size, seed=self._rng
+            self._subgraph_pool, self.training_config.batch_size, seed=self._rng
         )
 
         if isinstance(perturbation, PerturbationStrategy):
@@ -169,11 +184,38 @@ class SEPrivGEmbTrainer:
             sampling_rate=self._sampler.sampling_rate,
         )
 
+        hooks = [
+            RdpAccountingHook(
+                self.accountant, self.privacy_config.epsilon, self.privacy_config.delta
+            )
+        ]
+        if self.iterate_averaging:
+            hooks.append(IterateAveragingHook())
+        self.engine = TrainingEngine(
+            model=self.model,
+            optimizer=self.optimizer,
+            objective=self.objective,
+            sampler=self._sampler,
+            update_rule=PerturbedUpdate(
+                self.perturbation, gradient_normalization=self.gradient_normalization
+            ),
+            hooks=hooks,
+        )
+
     # ------------------------------------------------------------------ #
     @property
     def sampling_rate(self) -> float:
         """The subsampling rate ``γ = B / |GS|`` used for amplification."""
         return self._sampler.sampling_rate
+
+    @property
+    def subgraphs(self) -> list[EdgeSubgraph]:
+        """The Algorithm-1 subgraph set as per-example dataclasses.
+
+        A fresh copy built from the pool arrays on each access; mutating
+        it has no effect on training.
+        """
+        return self._subgraph_pool.to_subgraphs()
 
     def max_private_epochs(self) -> int:
         """Number of epochs the (ε, δ) budget allows (Algorithm 2 stop rule)."""
@@ -191,71 +233,16 @@ class SEPrivGEmbTrainer:
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
 
-        losses: list[float] = []
-        stopped_early = False
-        averaged_w_in: np.ndarray | None = None
-        averaged_w_out: np.ndarray | None = None
-        for epoch in range(epochs):
-            if self.accountant.would_exceed(
-                self.privacy_config.epsilon, self.privacy_config.delta
-            ):
-                stopped_early = True
-                _LOGGER.debug(
-                    "stopping at epoch %d: privacy budget ε=%.3f would be exceeded",
-                    epoch,
-                    self.privacy_config.epsilon,
-                )
-                break
-            batch = self._sampler.sample_batch()
-            loss = self._private_step(batch)
-            losses.append(loss)
-            self.accountant.step()
-            self.optimizer.step_epoch()
-            if self.iterate_averaging:
-                if averaged_w_in is None:
-                    averaged_w_in = self.model.w_in.copy()
-                    averaged_w_out = self.model.w_out.copy()
-                else:
-                    averaged_w_in += self.model.w_in
-                    averaged_w_out += self.model.w_out
-
-        steps = len(losses)
-        if self.iterate_averaging and averaged_w_in is not None and steps > 0:
-            embeddings = averaged_w_in / steps
-            context_embeddings = averaged_w_out / steps
-        else:
-            embeddings = self.model.embeddings()
-            context_embeddings = self.model.w_out.copy()
-
+        result = self.engine.run(epochs)
         spent = self.accountant.get_privacy_spent(self.privacy_config.delta)
         return PrivateEmbeddingResult(
-            embeddings=embeddings,
-            context_embeddings=context_embeddings,
+            embeddings=result.embeddings,
+            context_embeddings=result.context_embeddings,
             privacy_spent=spent,
-            losses=losses,
-            epochs_run=steps,
-            stopped_early=stopped_early,
+            losses=result.losses,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
         )
-
-    # ------------------------------------------------------------------ #
-    def _private_step(self, batch: list[EdgeSubgraph]) -> float:
-        """One noisy SGD step: clip → aggregate → perturb → average → descend."""
-        w_in, w_out = self.model.w_in, self.model.w_out
-        example_gradients = [
-            self.objective.example_gradients(w_in, w_out, subgraph) for subgraph in batch
-        ]
-        perturbed = self.perturbation.perturb(
-            example_gradients,
-            num_nodes=self.model.num_nodes,
-            embedding_dim=self.model.embedding_dim,
-        )
-        if self.gradient_normalization == "batch":
-            w_in_grad, w_out_grad = perturbed.averaged_by_batch()
-        else:
-            w_in_grad, w_out_grad = perturbed.averaged_by_row_counts()
-        self.optimizer.descend(w_in, w_in_grad)
-        self.optimizer.descend(w_out, w_out_grad)
-        return perturbed.mean_loss
 
     def __repr__(self) -> str:
         return (

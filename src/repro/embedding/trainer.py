@@ -5,6 +5,10 @@ the paper uses as utility upper bounds in Figures 3 and 4.  The trainer
 optimises the same structure-preference objective (Eq. 5) over the same
 edge-subgraph batches, but applies the exact (un-clipped, un-noised) batch
 gradient.
+
+The epoch loop itself lives in :class:`~repro.engine.TrainingEngine`; this
+class is a thin configuration of it — vectorized batch gradients applied
+with the exact scatter update rule, plus a loss-logging hook.
 """
 
 from __future__ import annotations
@@ -14,6 +18,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import TrainingConfig
+from ..engine import (
+    DirectSparseUpdate,
+    LossLoggingHook,
+    SubgraphBatch,
+    TrainingEngine,
+)
 from ..exceptions import TrainingError
 from ..graph import Graph
 from ..graph.sampling import (
@@ -21,7 +31,7 @@ from ..graph.sampling import (
     ProximityNegativeSampler,
     SubgraphSampler,
     UnigramNegativeSampler,
-    generate_disjoint_subgraphs,
+    generate_disjoint_subgraph_arrays,
 )
 from ..proximity.base import ProximityMatrix, ProximityMeasure
 from ..utils.logging import get_logger
@@ -109,11 +119,24 @@ class SEGEmbTrainer:
             )
         else:
             negative_sampler = UnigramNegativeSampler(graph, seed=self._rng)
-        self._subgraphs: list[EdgeSubgraph] = generate_disjoint_subgraphs(
+        pool = generate_disjoint_subgraph_arrays(
             graph, negative_sampler, self.config.negative_samples
         )
+        # Bind the proximity weights once; every batch then slices them
+        # instead of re-reading the proximity matrix per example per step.
+        self._subgraph_pool: SubgraphBatch = pool.with_weights(
+            self.objective.edge_weights(pool.centers, pool.positives)
+        )
         self._sampler = SubgraphSampler(
-            self._subgraphs, self.config.batch_size, seed=self._rng
+            self._subgraph_pool, self.config.batch_size, seed=self._rng
+        )
+        self.engine = TrainingEngine(
+            model=self.model,
+            optimizer=self.optimizer,
+            objective=self.objective,
+            sampler=self._sampler,
+            update_rule=DirectSparseUpdate(),
+            hooks=(LossLoggingHook(_LOGGER),),
         )
 
     # ------------------------------------------------------------------ #
@@ -122,56 +145,24 @@ class SEGEmbTrainer:
         """``B / |GS|`` — exposed for parity with the private trainer."""
         return self._sampler.sampling_rate
 
+    @property
+    def subgraphs(self) -> list[EdgeSubgraph]:
+        """The Algorithm-1 subgraph set as per-example dataclasses.
+
+        A fresh copy built from the pool arrays on each access; mutating
+        it has no effect on training.
+        """
+        return self._subgraph_pool.to_subgraphs()
+
     def train(self, epochs: int | None = None) -> EmbeddingResult:
         """Run training for ``epochs`` (default: ``config.epochs``) and return embeddings."""
         epochs = int(epochs) if epochs is not None else self.config.epochs
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
-        losses: list[float] = []
-        for epoch in range(epochs):
-            batch = self._sampler.sample_batch()
-            loss = self._train_step(batch)
-            losses.append(loss)
-            self.optimizer.step_epoch()
-            if (epoch + 1) % max(1, epochs // 10) == 0:
-                _LOGGER.debug("epoch %d/%d loss=%.5f", epoch + 1, epochs, loss)
+        result = self.engine.run(epochs)
         return EmbeddingResult(
-            embeddings=self.model.embeddings(),
-            context_embeddings=self.model.w_out.copy(),
-            losses=losses,
-            epochs_run=epochs,
+            embeddings=result.embeddings,
+            context_embeddings=result.context_embeddings,
+            losses=result.losses,
+            epochs_run=result.epochs_run,
         )
-
-    # ------------------------------------------------------------------ #
-    def _train_step(self, batch: list[EdgeSubgraph]) -> float:
-        """One (non-private) SGD step over a batch of edge subgraphs.
-
-        Each example contributes a full-strength update to the rows it
-        touches (classic word2vec-style SGD); since every example touches a
-        distinct centre row almost surely, this is equivalent to running the
-        batch as ``B`` consecutive per-pair SGD steps.
-        """
-        w_in, w_out = self.model.w_in, self.model.w_out
-        batch_size = len(batch)
-        total_loss = 0.0
-
-        center_rows: list[int] = []
-        center_grads: list[np.ndarray] = []
-        context_rows: list[np.ndarray] = []
-        context_grads: list[np.ndarray] = []
-
-        for subgraph in batch:
-            grads = self.objective.example_gradients(w_in, w_out, subgraph)
-            total_loss += grads.loss
-            center_rows.append(grads.center)
-            center_grads.append(grads.center_gradient)
-            context_rows.append(grads.context_nodes)
-            context_grads.append(grads.context_gradients)
-
-        self.optimizer.descend_rows(
-            w_in, np.asarray(center_rows, dtype=np.int64), np.vstack(center_grads)
-        )
-        self.optimizer.descend_rows(
-            w_out, np.concatenate(context_rows), np.vstack(context_grads)
-        )
-        return total_loss / batch_size

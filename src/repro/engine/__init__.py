@@ -1,0 +1,33 @@
+"""Unified vectorized training engine for SE-GEmb / SE-PrivGEmb.
+
+This subsystem owns the hot training loop.  It moves batches of Algorithm-1
+edge subgraphs as arrays (:class:`SubgraphBatch`), computes all per-example
+structure-preference gradients in one vectorized pass
+(:class:`BatchGradients`), and runs one shared epoch loop
+(:class:`TrainingEngine`) that both the non-private and the private trainer
+configure via update rules and hooks instead of re-implementing.
+"""
+
+from .batch import BatchGradients, SubgraphBatch
+from .core import EngineResult, TrainingEngine
+from .hooks import (
+    EngineHook,
+    IterateAveragingHook,
+    LossLoggingHook,
+    RdpAccountingHook,
+)
+from .updates import DirectSparseUpdate, PerturbedUpdate, UpdateRule
+
+__all__ = [
+    "BatchGradients",
+    "SubgraphBatch",
+    "EngineResult",
+    "TrainingEngine",
+    "EngineHook",
+    "LossLoggingHook",
+    "RdpAccountingHook",
+    "IterateAveragingHook",
+    "UpdateRule",
+    "DirectSparseUpdate",
+    "PerturbedUpdate",
+]

@@ -1,0 +1,136 @@
+"""The unified vectorized training loop shared by SE-GEmb and SE-PrivGEmb.
+
+One epoch of either trainer is the same four moves:
+
+1. sample a batch of edge subgraphs (arrays, not dataclasses),
+2. compute the structure-preference gradients of the whole batch in one
+   vectorized pass (Eq. 7 / Eq. 8),
+3. hand the gradients to the :class:`~repro.engine.updates.UpdateRule`
+   (exact scatter descent for SE-GEmb; clip → perturb → average → descend
+   for SE-PrivGEmb),
+4. run the hooks (privacy accounting, iterate averaging, logging).
+
+The engine is deliberately duck-typed: it needs a model with ``w_in`` /
+``w_out`` / ``embeddings()``, an optimizer with ``descend*`` /
+``step_epoch``, an objective with ``batch_gradients`` and a sampler with
+``sample_batch_arrays`` — it imports nothing from the embedding package, so
+the embedding layer can depend on the engine without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from .hooks import EngineHook
+from .updates import UpdateRule
+
+__all__ = ["EngineResult", "TrainingEngine"]
+
+
+@dataclass
+class EngineResult:
+    """Raw output of one :meth:`TrainingEngine.run` call.
+
+    ``embeddings`` / ``context_embeddings`` default to the final iterates;
+    hooks (e.g. iterate averaging) may replace them in ``on_train_end``.
+    """
+
+    embeddings: np.ndarray
+    context_embeddings: np.ndarray
+    losses: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+
+class TrainingEngine:
+    """Run the shared epoch loop over vectorized subgraph batches.
+
+    Parameters
+    ----------
+    model:
+        The skip-gram model holding ``w_in`` and ``w_out``.
+    optimizer:
+        SGD optimizer applying the updates (and learning-rate decay).
+    objective:
+        Objective exposing ``batch_gradients(w_in, w_out, batch)``.
+    sampler:
+        Batch source exposing ``sample_batch_arrays() -> SubgraphBatch``.
+    update_rule:
+        How gradients hit the parameters (exact vs private).
+    hooks:
+        Ordered :class:`EngineHook` instances; ``before_step`` hooks can
+        stop training (privacy budget), ``on_train_end`` hooks can replace
+        the published matrices (iterate averaging).
+    """
+
+    def __init__(
+        self,
+        *,
+        model,
+        optimizer,
+        objective,
+        sampler,
+        update_rule: UpdateRule,
+        hooks: Sequence[EngineHook] = (),
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.objective = objective
+        self.sampler = sampler
+        self.update_rule = update_rule
+        self.hooks = tuple(hooks)
+        #: total epochs requested by the current ``run`` (for logging hooks).
+        self.total_epochs = 0
+
+    # ------------------------------------------------------------------ #
+    def step(self, epoch: int = 0) -> float:
+        """Run one training step and return its mean batch loss."""
+        batch = self.sampler.sample_batch_arrays()
+        gradients = self.objective.batch_gradients(
+            self.model.w_in, self.model.w_out, batch
+        )
+        self.update_rule.apply(self.model, self.optimizer, batch, gradients)
+        return gradients.mean_loss
+
+    def run(self, epochs: int) -> EngineResult:
+        """Run up to ``epochs`` steps (hooks may stop earlier) and return the result."""
+        epochs = int(epochs)
+        if epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {epochs}")
+        self.total_epochs = epochs
+
+        for hook in self.hooks:
+            hook.on_train_start(self)
+
+        losses: list[float] = []
+        stopped_early = False
+        for epoch in range(epochs):
+            if not all(hook.before_step(self, epoch) for hook in self.hooks):
+                stopped_early = True
+                break
+            loss = self.step(epoch)
+            losses.append(loss)
+            for hook in self.hooks:
+                hook.after_step(self, epoch, loss)
+            self.optimizer.step_epoch()
+
+        result = EngineResult(
+            embeddings=self.model.embeddings(),
+            context_embeddings=self.model.w_out.copy(),
+            losses=losses,
+            epochs_run=len(losses),
+            stopped_early=stopped_early,
+        )
+        for hook in self.hooks:
+            result = hook.on_train_end(self, result)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingEngine(update_rule={type(self.update_rule).__name__}, "
+            f"hooks={[type(h).__name__ for h in self.hooks]})"
+        )

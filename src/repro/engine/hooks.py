@@ -1,0 +1,138 @@
+"""Hook protocol for the training engine.
+
+The seed trainers interleaved their extra behaviours (loss logging, RDP
+accounting with early stop, Polyak–Ruppert iterate averaging) directly into
+two divergent copies of the epoch loop.  The engine runs ONE loop and gives
+every behaviour a hook:
+
+* :meth:`EngineHook.before_step` — runs before the batch is sampled; return
+  ``False`` to stop training (this is how the privacy budget gates Algorithm
+  2, lines 8–10, *before* any more randomness is consumed).
+* :meth:`EngineHook.after_step` — runs after the parameter update of each
+  step (accountant bookkeeping, iterate accumulation, logging).
+* :meth:`EngineHook.on_train_end` — may replace the published result
+  (iterate averaging swaps in the averaged matrices; averaging is
+  post-processing of the noised updates, so it is privacy-free).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import EngineResult, TrainingEngine
+
+__all__ = [
+    "EngineHook",
+    "LossLoggingHook",
+    "RdpAccountingHook",
+    "IterateAveragingHook",
+]
+
+_LOGGER = get_logger("engine.hooks")
+
+
+class EngineHook:
+    """Base class: every method is a no-op, subclasses override what they need."""
+
+    def on_train_start(self, engine: "TrainingEngine") -> None:
+        """Called once before the first step of a :meth:`TrainingEngine.run`."""
+
+    def before_step(self, engine: "TrainingEngine", epoch: int) -> bool:
+        """Called before each step; return ``False`` to stop training early."""
+        return True
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        """Called after the parameter update of each step."""
+
+    def on_train_end(
+        self, engine: "TrainingEngine", result: "EngineResult"
+    ) -> "EngineResult":
+        """Called once after the loop; may return a modified result."""
+        return result
+
+
+class LossLoggingHook(EngineHook):
+    """Debug-log the loss roughly ten times over the course of a run."""
+
+    def __init__(self, logger: logging.Logger | None = None, label: str = "train") -> None:
+        self._logger = logger if logger is not None else _LOGGER
+        self.label = label
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        total = engine.total_epochs
+        if (epoch + 1) % max(1, total // 10) == 0:
+            self._logger.debug("%s epoch %d/%d loss=%.5f", self.label, epoch + 1, total, loss)
+
+
+class RdpAccountingHook(EngineHook):
+    """Algorithm 2's privacy gate: stop before the (ε, δ) budget is exceeded.
+
+    ``before_step`` runs *before* the engine samples a batch, so a stopped
+    run consumes exactly the same RNG stream as the seed trainer, which also
+    checked the budget first.
+    """
+
+    def __init__(self, accountant, epsilon: float, delta: float) -> None:
+        self.accountant = accountant
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+
+    def before_step(self, engine: "TrainingEngine", epoch: int) -> bool:
+        if self.accountant.would_exceed(self.epsilon, self.delta):
+            _LOGGER.debug(
+                "stopping at epoch %d: privacy budget ε=%.3f would be exceeded",
+                epoch,
+                self.epsilon,
+            )
+            return False
+        return True
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        self.accountant.step()
+
+
+class IterateAveragingHook(EngineHook):
+    """Polyak–Ruppert output averaging over all completed steps.
+
+    Post-processing of the noised iterates (Theorem 2): publishing the mean
+    of the ``W`` iterates costs no additional privacy and damps the noise
+    accumulated by later private steps.
+    """
+
+    def __init__(self) -> None:
+        self._sum_w_in: np.ndarray | None = None
+        self._sum_w_out: np.ndarray | None = None
+        self._steps = 0
+
+    def on_train_start(self, engine: "TrainingEngine") -> None:
+        self._sum_w_in = None
+        self._sum_w_out = None
+        self._steps = 0
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        self._steps += 1
+        if self._sum_w_in is None:
+            self._sum_w_in = engine.model.w_in.copy()
+            self._sum_w_out = engine.model.w_out.copy()
+        else:
+            self._sum_w_in += engine.model.w_in
+            self._sum_w_out += engine.model.w_out
+
+    def on_train_end(
+        self, engine: "TrainingEngine", result: "EngineResult"
+    ) -> "EngineResult":
+        if self._steps == 0 or self._sum_w_in is None or self._sum_w_out is None:
+            return result
+        from dataclasses import replace
+
+        return replace(
+            result,
+            embeddings=self._sum_w_in / self._steps,
+            context_embeddings=self._sum_w_out / self._steps,
+        )

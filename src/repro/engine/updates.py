@@ -1,0 +1,115 @@
+"""Parameter-update rules: how a batch of gradients hits the model.
+
+The two trainers differ in exactly one place of the loop — what happens
+between "gradients computed" and "parameters changed":
+
+* SE-GEmb applies the exact gradients as sparse scatter updates
+  (:class:`DirectSparseUpdate`);
+* SE-PrivGEmb clips per example, aggregates, perturbs (Eq. 6 or Eq. 9) and
+  descends on the noised average (:class:`PerturbedUpdate`), sparsely when
+  the strategy reports only touched rows (non-zero Eq. 9) and densely
+  otherwise (naive Eq. 6).
+
+Factoring this into a strategy lets :class:`~repro.engine.core.
+TrainingEngine` run one loop for both.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..exceptions import TrainingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..embedding.optimizer import SGDOptimizer
+    from ..embedding.perturbation import PerturbationStrategy
+    from ..embedding.skipgram import SkipGramModel
+    from .batch import BatchGradients, SubgraphBatch
+
+__all__ = ["UpdateRule", "DirectSparseUpdate", "PerturbedUpdate"]
+
+
+class UpdateRule(abc.ABC):
+    """Strategy interface: apply one batch of gradients to the model."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        model: "SkipGramModel",
+        optimizer: "SGDOptimizer",
+        batch: "SubgraphBatch",
+        gradients: "BatchGradients",
+    ) -> None:
+        """Update ``model`` in place from the batch gradients."""
+
+
+class DirectSparseUpdate(UpdateRule):
+    """Exact (un-clipped, un-noised) scatter update — the SE-GEmb rule.
+
+    Each example contributes a full-strength update to the rows it touches;
+    duplicate rows accumulate via ``np.subtract.at``, exactly matching the
+    seed trainer's list-of-examples loop.
+    """
+
+    def apply(self, model, optimizer, batch, gradients) -> None:
+        dim = model.embedding_dim
+        optimizer.descend_rows(model.w_in, gradients.centers, gradients.center_gradients)
+        optimizer.descend_rows(
+            model.w_out,
+            gradients.context_nodes.reshape(-1),
+            gradients.context_gradients.reshape(-1, dim),
+        )
+
+
+class PerturbedUpdate(UpdateRule):
+    """Clip → aggregate → perturb → average → descend — the SE-PrivGEmb rule.
+
+    Parameters
+    ----------
+    perturbation:
+        A :class:`~repro.embedding.perturbation.PerturbationStrategy`
+        (non-zero Eq. 9 or naive Eq. 6).
+    gradient_normalization:
+        ``"per_row"`` divides each noisy row by the number of examples that
+        touched it; ``"batch"`` divides by ``B`` (the literal Eq. 9).  Both
+        are post-processing of the noised sum, hence privacy-free.
+    """
+
+    def __init__(
+        self,
+        perturbation: "PerturbationStrategy",
+        gradient_normalization: str = "per_row",
+    ) -> None:
+        if gradient_normalization not in {"per_row", "batch"}:
+            raise TrainingError(
+                "gradient_normalization must be 'per_row' or 'batch', got "
+                f"{gradient_normalization!r}"
+            )
+        self.perturbation = perturbation
+        self.gradient_normalization = gradient_normalization
+
+    def apply(self, model, optimizer, batch, gradients) -> None:
+        perturbed = self.perturbation.perturb_batch(
+            gradients,
+            num_nodes=model.num_nodes,
+            embedding_dim=model.embedding_dim,
+        )
+        if hasattr(perturbed, "averaged_rows"):
+            # Sparse result (non-zero Eq. 9): untouched rows are exactly
+            # zero, so descending only on the touched rows matches the
+            # dense update bit for bit without the |V| x r materialisation.
+            # The touched rows are sorted-unique, so the fast unique-row
+            # descent applies.
+            rows_in, grads_in, rows_out, grads_out = perturbed.averaged_rows(
+                self.gradient_normalization
+            )
+            optimizer.descend_unique_rows(model.w_in, rows_in, grads_in)
+            optimizer.descend_unique_rows(model.w_out, rows_out, grads_out)
+            return
+        if self.gradient_normalization == "batch":
+            w_in_grad, w_out_grad = perturbed.averaged_by_batch()
+        else:
+            w_in_grad, w_out_grad = perturbed.averaged_by_row_counts()
+        optimizer.descend(model.w_in, w_in_grad)
+        optimizer.descend(model.w_out, w_out_grad)

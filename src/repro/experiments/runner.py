@@ -25,6 +25,7 @@ from ..exceptions import ConfigurationError
 from ..embedding import SEGEmbTrainer, SEPrivGEmbTrainer
 from ..graph import Graph
 from ..proximity import DeepWalkProximity, DegreeProximity
+from ..proximity.base import ProximityMatrix
 from ..utils.stats import summarize_runs
 
 __all__ = [
@@ -46,6 +47,7 @@ METHOD_NAMES: tuple[str, ...] = (
 )
 
 _PRIVATE_METHODS = {"se_privgemb_dw", "se_privgemb_deg", "dpggan", "dpgvae", "gap", "progap"}
+_SE_METHODS = {"se_privgemb_dw", "se_privgemb_deg", "se_gemb_dw", "se_gemb_deg"}
 
 
 def _proximity_for(method: str, deepwalk_window: int = 5):
@@ -63,6 +65,7 @@ def embed_with_method(
     privacy: PrivacyConfig,
     seed: int | np.random.Generator | None = None,
     perturbation: str = "nonzero",
+    proximity: ProximityMatrix | None = None,
 ) -> np.ndarray:
     """Produce an embedding matrix for ``graph`` with the named method.
 
@@ -79,6 +82,11 @@ def embed_with_method(
     perturbation:
         Perturbation strategy for the SE-PrivGEmb variants ("nonzero" or
         "naive"); ignored by every other method.
+    proximity:
+        Optional precomputed proximity matrix for the SE methods.  The
+        measures are closed-form and deterministic, so callers that embed
+        the same graph repeatedly (e.g. repeated evaluation runs) can
+        compute the matrix once and share it; ignored by the baselines.
     """
     key = method.strip().lower()
     if key not in METHOD_NAMES:
@@ -89,7 +97,7 @@ def embed_with_method(
     if key in {"se_privgemb_dw", "se_privgemb_deg"}:
         trainer = SEPrivGEmbTrainer(
             graph,
-            _proximity_for(key),
+            proximity if proximity is not None else _proximity_for(key),
             training_config=training,
             privacy_config=privacy,
             perturbation=perturbation,
@@ -98,7 +106,12 @@ def embed_with_method(
         return trainer.train().embeddings
 
     if key in {"se_gemb_dw", "se_gemb_deg"}:
-        trainer = SEGEmbTrainer(graph, _proximity_for(key), config=training, seed=seed)
+        trainer = SEGEmbTrainer(
+            graph,
+            proximity if proximity is not None else _proximity_for(key),
+            config=training,
+            seed=seed,
+        )
         return trainer.train().embeddings
 
     baseline = get_baseline(key, training_config=training, privacy_config=privacy, seed=seed)
@@ -119,11 +132,24 @@ def evaluate_structural_equivalence(
     seed: int = 0,
     perturbation: str = "nonzero",
 ) -> tuple[float, float]:
-    """Mean ± SD StrucEqu of a method over repeated runs on one graph."""
+    """Mean ± SD StrucEqu of a method over repeated runs on one graph.
+
+    The proximity matrix of the SE methods is deterministic given the graph,
+    so it is computed once here and shared across the repeats — repeated
+    runs only re-randomise initialisation, sampling and noise.
+    """
+    key = method.strip().lower()
+    proximity = _proximity_for(key).compute(graph) if key in _SE_METHODS else None
     scores = []
     for repeat in range(repeats):
         embeddings = embed_with_method(
-            method, graph, training, privacy, seed=seed + repeat, perturbation=perturbation
+            method,
+            graph,
+            training,
+            privacy,
+            seed=seed + repeat,
+            perturbation=perturbation,
+            proximity=proximity,
         )
         scores.append(structural_equivalence_score(graph, embeddings, seed=seed + repeat))
     summary = summarize_runs(scores)

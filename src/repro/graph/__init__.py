@@ -15,6 +15,7 @@ from .random_walk import RandomWalker
 from .sampling import (
     EdgeSubgraph,
     generate_disjoint_subgraphs,
+    generate_disjoint_subgraph_arrays,
     SubgraphSampler,
     UnigramNegativeSampler,
     ProximityNegativeSampler,
@@ -37,6 +38,7 @@ __all__ = [
     "RandomWalker",
     "EdgeSubgraph",
     "generate_disjoint_subgraphs",
+    "generate_disjoint_subgraph_arrays",
     "SubgraphSampler",
     "UnigramNegativeSampler",
     "ProximityNegativeSampler",

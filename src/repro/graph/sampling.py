@@ -18,9 +18,11 @@ Two negative-node distributions are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from ..engine.batch import SubgraphBatch
 from ..exceptions import GraphError
 from ..utils.rng import ensure_rng
 from .graph import Graph
@@ -28,6 +30,7 @@ from .graph import Graph
 __all__ = [
     "EdgeSubgraph",
     "generate_disjoint_subgraphs",
+    "generate_disjoint_subgraph_arrays",
     "SubgraphSampler",
     "UnigramNegativeSampler",
     "ProximityNegativeSampler",
@@ -185,13 +188,18 @@ class ProximityNegativeSampler(_NegativeSamplerBase):
         return self.min_positive_proximity / row_sum
 
 
-def generate_disjoint_subgraphs(
+def generate_disjoint_subgraph_arrays(
     graph: Graph,
     negative_sampler: _NegativeSamplerBase,
     num_negatives: int,
     both_directions: bool = False,
-) -> list[EdgeSubgraph]:
-    """Algorithm 1: build one :class:`EdgeSubgraph` per edge.
+) -> SubgraphBatch:
+    """Algorithm 1 in array form: the whole subgraph set ``GS`` as one batch.
+
+    This is the engine's hot-path representation — centres ``[|GS|]`` and
+    contexts ``[|GS|, 1+k]`` (positive first) — produced with exactly the
+    same negative draws (same RNG stream) as the per-example
+    :func:`generate_disjoint_subgraphs`.
 
     Parameters
     ----------
@@ -202,23 +210,45 @@ def generate_disjoint_subgraphs(
     num_negatives:
         ``k``, the number of negative samples per edge.
     both_directions:
-        If ``True``, each undirected edge produces two subgraphs (one per
-        direction), matching implementations that treat the skip-gram pair
-        symmetrically.  The paper's Algorithm 1 uses one per edge (default).
+        If ``True``, each undirected edge produces two subgraph rows (one
+        per direction).  The paper's Algorithm 1 uses one per edge (default).
     """
     if num_negatives < 1:
         raise GraphError(f"num_negatives must be >= 1, got {num_negatives}")
     if graph.num_edges == 0:
         raise GraphError("cannot build subgraphs for a graph with no edges")
-    subgraphs: list[EdgeSubgraph] = []
+    count = graph.num_edges * (2 if both_directions else 1)
+    centers = np.empty(count, dtype=np.int64)
+    contexts = np.empty((count, 1 + num_negatives), dtype=np.int64)
+    row = 0
     for u, v in graph.edges:
         u, v = int(u), int(v)
-        negatives = negative_sampler.sample_negatives(u, num_negatives)
-        subgraphs.append(EdgeSubgraph(center=u, positive=v, negatives=negatives))
+        centers[row] = u
+        contexts[row, 0] = v
+        contexts[row, 1:] = negative_sampler.sample_negatives(u, num_negatives)
+        row += 1
         if both_directions:
-            negatives_rev = negative_sampler.sample_negatives(v, num_negatives)
-            subgraphs.append(EdgeSubgraph(center=v, positive=u, negatives=negatives_rev))
-    return subgraphs
+            centers[row] = v
+            contexts[row, 0] = u
+            contexts[row, 1:] = negative_sampler.sample_negatives(v, num_negatives)
+            row += 1
+    return SubgraphBatch(centers=centers, contexts=contexts)
+
+
+def generate_disjoint_subgraphs(
+    graph: Graph,
+    negative_sampler: _NegativeSamplerBase,
+    num_negatives: int,
+    both_directions: bool = False,
+) -> list[EdgeSubgraph]:
+    """Algorithm 1: build one :class:`EdgeSubgraph` per edge.
+
+    Compatibility wrapper over :func:`generate_disjoint_subgraph_arrays`;
+    the dataclass list is a view of the same arrays (identical RNG stream).
+    """
+    return generate_disjoint_subgraph_arrays(
+        graph, negative_sampler, num_negatives, both_directions=both_directions
+    ).to_subgraphs()
 
 
 class SubgraphSampler:
@@ -227,31 +257,60 @@ class SubgraphSampler:
     One batch of size ``B`` corresponds to one private SGD step; the
     subsampling rate ``γ = B / |GS|`` feeds the privacy-amplification bound
     (Theorem 4 / 5 of the paper).
+
+    The pool is stored as a :class:`~repro.engine.batch.SubgraphBatch`;
+    :meth:`sample_batch_arrays` is the engine's zero-copy hot path, while
+    :meth:`sample_batch` keeps the per-example dataclass view for callers
+    that want one (both consume the identical RNG draw).
     """
 
     def __init__(
         self,
-        subgraphs: list[EdgeSubgraph],
+        subgraphs: Sequence[EdgeSubgraph] | SubgraphBatch,
         batch_size: int,
         seed: int | np.random.Generator | None = None,
     ) -> None:
-        if not subgraphs:
+        if isinstance(subgraphs, SubgraphBatch):
+            pool = subgraphs
+        else:
+            subgraphs = list(subgraphs)
+            if not subgraphs:
+                raise GraphError("subgraphs must not be empty")
+            pool = SubgraphBatch.from_subgraphs(subgraphs)
+        if len(pool) == 0:
             raise GraphError("subgraphs must not be empty")
         if batch_size < 1:
             raise GraphError(f"batch_size must be >= 1, got {batch_size}")
-        self.subgraphs = list(subgraphs)
-        self.batch_size = min(int(batch_size), len(self.subgraphs))
+        self.pool = pool
+        self.batch_size = min(int(batch_size), len(pool))
         self._rng = ensure_rng(seed)
+
+    @property
+    def subgraphs(self) -> list[EdgeSubgraph]:
+        """Compatibility copy of the pool as per-example dataclasses.
+
+        Built fresh on each access (O(|GS|)); mutating the returned list
+        does not affect what :meth:`sample_batch` can draw — the pool
+        arrays are the source of truth.
+        """
+        return self.pool.to_subgraphs()
 
     @property
     def sampling_rate(self) -> float:
         """The subsampling parameter ``γ = B / |GS|``."""
-        return self.batch_size / len(self.subgraphs)
+        return self.batch_size / len(self.pool)
+
+    def sample_indices(self) -> np.ndarray:
+        """Draw ``batch_size`` pool indices uniformly without replacement."""
+        return self._rng.choice(len(self.pool), size=self.batch_size, replace=False)
+
+    def sample_batch_arrays(self) -> SubgraphBatch:
+        """Sample one batch in array form — the engine's hot path."""
+        return self.pool.take(self.sample_indices())
 
     def sample_batch(self) -> list[EdgeSubgraph]:
         """Sample ``batch_size`` subgraphs uniformly without replacement."""
-        indices = self._rng.choice(len(self.subgraphs), size=self.batch_size, replace=False)
-        return [self.subgraphs[int(i)] for i in indices]
+        return self.sample_batch_arrays().to_subgraphs()
 
     def __len__(self) -> int:
-        return len(self.subgraphs)
+        return len(self.pool)

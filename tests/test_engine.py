@@ -1,0 +1,358 @@
+"""Tests for the vectorized training engine.
+
+The headline guarantee: the engine's batched path (``batch_gradients`` +
+``perturb_batch`` + ``TrainingEngine``) is *numerically equivalent* to the
+seed's per-example loop (``pair_gradients`` + ``perturb``) — same weights,
+same clipping, same noise draws given the same seed — to within 1e-10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivacyConfig,
+    SEGEmbTrainer,
+    SEPrivGEmbTrainer,
+    SubgraphBatch,
+    TrainingConfig,
+    TrainingError,
+)
+from repro.embedding import SkipGramModel, SGDOptimizer, get_perturbation
+from repro.embedding.objectives import StructurePreferenceObjective, pair_gradients
+from repro.engine import (
+    DirectSparseUpdate,
+    EngineHook,
+    LossLoggingHook,
+    TrainingEngine,
+)
+from repro.graph.sampling import (
+    EdgeSubgraph,
+    ProximityNegativeSampler,
+    SubgraphSampler,
+    UnigramNegativeSampler,
+    generate_disjoint_subgraph_arrays,
+)
+from repro.privacy.accountant import RdpAccountant
+from repro.proximity import DeepWalkProximity, DegreeProximity
+from repro.utils.rng import ensure_rng
+
+ATOL = 1e-10
+
+
+def _objective_and_pool(graph, k=4, seed=0):
+    proximity = DeepWalkProximity(window_size=3).compute(graph)
+    objective = StructurePreferenceObjective(proximity)
+    sampler = UnigramNegativeSampler(graph, seed=seed)
+    pool = generate_disjoint_subgraph_arrays(graph, sampler, k)
+    return objective, pool
+
+
+class TestSubgraphBatch:
+    def test_roundtrip_through_subgraphs(self, small_graph):
+        _, pool = _objective_and_pool(small_graph)
+        rebuilt = SubgraphBatch.from_subgraphs(pool.to_subgraphs())
+        np.testing.assert_array_equal(rebuilt.centers, pool.centers)
+        np.testing.assert_array_equal(rebuilt.contexts, pool.contexts)
+        assert len(pool) == small_graph.num_edges
+        assert pool.num_negatives == 4
+
+    def test_layout_matches_all_context_nodes(self, small_graph):
+        _, pool = _objective_and_pool(small_graph)
+        for row, sub in enumerate(pool.to_subgraphs()):
+            np.testing.assert_array_equal(pool.contexts[row], sub.all_context_nodes())
+            assert pool.centers[row] == sub.center
+            assert pool.positives[row] == sub.positive
+
+    def test_take_slices_all_fields(self, small_graph):
+        _, pool = _objective_and_pool(small_graph)
+        pool = pool.with_weights(np.arange(len(pool), dtype=float))
+        indices = np.array([3, 0, 5])
+        sub = pool.take(indices)
+        np.testing.assert_array_equal(sub.centers, pool.centers[indices])
+        np.testing.assert_array_equal(sub.contexts, pool.contexts[indices])
+        np.testing.assert_array_equal(sub.weights, [3.0, 0.0, 5.0])
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):  # empty batches are invalid
+            SubgraphBatch(centers=np.zeros(0), contexts=np.zeros((0, 3)))
+        with pytest.raises(TrainingError):
+            SubgraphBatch(centers=np.zeros((2, 2)), contexts=np.zeros((2, 3)))
+        with pytest.raises(TrainingError):
+            SubgraphBatch(centers=np.zeros(2), contexts=np.zeros((3, 3)))
+        with pytest.raises(TrainingError):  # needs positive + >= 1 negative
+            SubgraphBatch(centers=np.zeros(2), contexts=np.zeros((2, 1)))
+        with pytest.raises(TrainingError):  # weights shape mismatch
+            SubgraphBatch(
+                centers=np.zeros(2), contexts=np.zeros((2, 3)), weights=np.zeros(3)
+            )
+        with pytest.raises(TrainingError):
+            SubgraphBatch.from_subgraphs([])
+
+    def test_mixed_negative_counts_rejected(self):
+        subs = [
+            EdgeSubgraph(center=0, positive=1, negatives=np.array([2, 3])),
+            EdgeSubgraph(center=1, positive=2, negatives=np.array([3])),
+        ]
+        with pytest.raises(TrainingError):
+            SubgraphBatch.from_subgraphs(subs)
+
+
+class TestBatchedSampler:
+    def test_array_and_list_batches_share_the_rng_stream(self, small_graph):
+        _, pool = _objective_and_pool(small_graph)
+        a = SubgraphSampler(pool, batch_size=8, seed=42)
+        b = SubgraphSampler(pool.to_subgraphs(), batch_size=8, seed=42)
+        arrays = a.sample_batch_arrays()
+        listed = b.sample_batch()
+        assert len(listed) == len(arrays)
+        for row, sub in enumerate(listed):
+            assert sub.center == arrays.centers[row]
+            np.testing.assert_array_equal(sub.all_context_nodes(), arrays.contexts[row])
+
+    def test_weights_ride_along(self, small_graph):
+        objective, pool = _objective_and_pool(small_graph)
+        pool = pool.with_weights(objective.edge_weights(pool.centers, pool.positives))
+        sampler = SubgraphSampler(pool, batch_size=8, seed=1)
+        batch = sampler.sample_batch_arrays()
+        assert batch.weights is not None
+        np.testing.assert_allclose(
+            batch.weights,
+            objective.edge_weights(batch.centers, batch.positives),
+            atol=ATOL,
+        )
+
+
+class TestBatchGradientEquivalence:
+    def test_edge_weights_match_scalar_path(self, small_graph):
+        objective, pool = _objective_and_pool(small_graph)
+        vectorized = objective.edge_weights(pool.centers, pool.positives)
+        scalar = [
+            objective.edge_weight(int(c), int(p))
+            for c, p in zip(pool.centers, pool.positives)
+        ]
+        np.testing.assert_allclose(vectorized, scalar, atol=ATOL)
+
+    def test_batch_gradients_match_pair_gradients(self, small_graph, rng):
+        objective, pool = _objective_and_pool(small_graph)
+        w_in = rng.normal(size=(small_graph.num_nodes, 8))
+        w_out = rng.normal(size=(small_graph.num_nodes, 8))
+
+        batch = objective.batch_gradients(w_in, w_out, pool)
+
+        for row, sub in enumerate(pool.to_subgraphs()):
+            weight = objective.edge_weight(sub.center, sub.positive)
+            reference = pair_gradients(w_in, w_out, sub, weight)
+            assert batch.centers[row] == reference.center
+            np.testing.assert_allclose(
+                batch.center_gradients[row], reference.center_gradient, atol=ATOL
+            )
+            np.testing.assert_array_equal(batch.context_nodes[row], reference.context_nodes)
+            np.testing.assert_allclose(
+                batch.context_gradients[row], reference.context_gradients, atol=ATOL
+            )
+            assert batch.losses[row] == pytest.approx(reference.loss, abs=ATOL)
+
+    def test_batch_loss_matches_gradient_losses(self, small_graph, rng):
+        objective, pool = _objective_and_pool(small_graph)
+        w_in = rng.normal(size=(small_graph.num_nodes, 8))
+        w_out = rng.normal(size=(small_graph.num_nodes, 8))
+        grads = objective.batch_gradients(w_in, w_out, pool)
+        assert objective.batch_loss(w_in, w_out, pool) == pytest.approx(
+            grads.mean_loss, abs=ATOL
+        )
+        # The list-of-dataclasses view goes down the same vectorized path.
+        assert objective.batch_loss(w_in, w_out, pool.to_subgraphs()) == pytest.approx(
+            grads.mean_loss, abs=ATOL
+        )
+
+
+class TestPerturbationEquivalence:
+    @pytest.mark.parametrize("strategy", ["nonzero", "naive"])
+    def test_perturb_batch_matches_perturb(self, small_graph, rng, strategy):
+        """Same clipping, same noise draws: the two paths agree to 1e-10."""
+        objective, pool = _objective_and_pool(small_graph)
+        w_in = rng.normal(size=(small_graph.num_nodes, 8))
+        w_out = rng.normal(size=(small_graph.num_nodes, 8))
+        batch_grads = objective.batch_gradients(w_in, w_out, pool)
+
+        loop = get_perturbation(strategy, clipping_threshold=0.5, noise_multiplier=2.0, seed=77)
+        vec = get_perturbation(strategy, clipping_threshold=0.5, noise_multiplier=2.0, seed=77)
+
+        reference = loop.perturb(
+            batch_grads.to_pair_gradients(),
+            num_nodes=small_graph.num_nodes,
+            embedding_dim=8,
+        )
+        batched = vec.perturb_batch(
+            batch_grads, num_nodes=small_graph.num_nodes, embedding_dim=8
+        )
+
+        np.testing.assert_allclose(batched.w_in_gradient, reference.w_in_gradient, atol=ATOL)
+        np.testing.assert_allclose(batched.w_out_gradient, reference.w_out_gradient, atol=ATOL)
+        np.testing.assert_array_equal(batched.w_in_counts, reference.w_in_counts)
+        np.testing.assert_array_equal(batched.w_out_counts, reference.w_out_counts)
+        assert batched.batch_size == reference.batch_size
+        assert batched.mean_loss == pytest.approx(reference.mean_loss, abs=ATOL)
+
+
+def _legacy_nonprivate_train(graph, config, seed, epochs):
+    """Replica of the seed SE-GEmb trainer: per-example loop, same RNG order."""
+    rng = ensure_rng(seed)
+    proximity = DegreeProximity().compute(graph)
+    objective = StructurePreferenceObjective(proximity)
+    model = SkipGramModel(graph.num_nodes, config.embedding_dim, seed=rng)
+    optimizer = SGDOptimizer(config.learning_rate)
+    negative_sampler = ProximityNegativeSampler(
+        graph,
+        proximity_row_sums=proximity.row_sums,
+        min_positive_proximity=max(proximity.min_positive, 1e-12),
+        seed=rng,
+    )
+    pool = generate_disjoint_subgraph_arrays(graph, negative_sampler, config.negative_samples)
+    sampler = SubgraphSampler(pool, config.batch_size, seed=rng)
+
+    for _ in range(epochs):
+        batch = sampler.sample_batch()
+        centers, center_grads, context_rows, context_grads = [], [], [], []
+        for subgraph in batch:
+            grads = objective.example_gradients(model.w_in, model.w_out, subgraph)
+            centers.append(grads.center)
+            center_grads.append(grads.center_gradient)
+            context_rows.append(grads.context_nodes)
+            context_grads.append(grads.context_gradients)
+        optimizer.descend_rows(
+            model.w_in, np.asarray(centers, dtype=np.int64), np.vstack(center_grads)
+        )
+        optimizer.descend_rows(
+            model.w_out, np.concatenate(context_rows), np.vstack(context_grads)
+        )
+        optimizer.step_epoch()
+    return model
+
+
+def _legacy_private_train(graph, training, privacy, seed, epochs):
+    """Replica of the seed SE-PrivGEmb trainer (Algorithm 2), same RNG order."""
+    rng = ensure_rng(seed)
+    proximity = DegreeProximity().compute(graph)
+    objective = StructurePreferenceObjective(proximity)
+    model = SkipGramModel(graph.num_nodes, training.embedding_dim, seed=rng)
+    optimizer = SGDOptimizer(training.learning_rate)
+    negative_sampler = ProximityNegativeSampler(
+        graph,
+        proximity_row_sums=proximity.row_sums,
+        min_positive_proximity=max(proximity.min_positive, 1e-12),
+        seed=rng,
+    )
+    pool = generate_disjoint_subgraph_arrays(graph, negative_sampler, training.negative_samples)
+    sampler = SubgraphSampler(pool, training.batch_size, seed=rng)
+    perturbation = get_perturbation(
+        "nonzero",
+        clipping_threshold=privacy.clipping_threshold,
+        noise_multiplier=privacy.noise_multiplier,
+        seed=rng,
+    )
+    accountant = RdpAccountant(
+        noise_multiplier=privacy.noise_multiplier, sampling_rate=sampler.sampling_rate
+    )
+
+    averaged_w_in = averaged_w_out = None
+    steps = 0
+    for _ in range(epochs):
+        if accountant.would_exceed(privacy.epsilon, privacy.delta):
+            break
+        batch = sampler.sample_batch()
+        example_gradients = [
+            objective.example_gradients(model.w_in, model.w_out, subgraph)
+            for subgraph in batch
+        ]
+        perturbed = perturbation.perturb(
+            example_gradients, num_nodes=model.num_nodes, embedding_dim=model.embedding_dim
+        )
+        w_in_grad, w_out_grad = perturbed.averaged_by_row_counts()
+        optimizer.descend(model.w_in, w_in_grad)
+        optimizer.descend(model.w_out, w_out_grad)
+        accountant.step()
+        optimizer.step_epoch()
+        steps += 1
+        if averaged_w_in is None:
+            averaged_w_in = model.w_in.copy()
+            averaged_w_out = model.w_out.copy()
+        else:
+            averaged_w_in += model.w_in
+            averaged_w_out += model.w_out
+    assert steps > 0
+    return averaged_w_in / steps, averaged_w_out / steps
+
+
+class TestEngineTrainerEquivalence:
+    def test_nonprivate_trainer_matches_legacy_loop(self, small_graph, fast_training_config):
+        legacy = _legacy_nonprivate_train(small_graph, fast_training_config, seed=3, epochs=5)
+        result = SEGEmbTrainer(
+            small_graph, DegreeProximity(), config=fast_training_config, seed=3
+        ).train(epochs=5)
+        np.testing.assert_allclose(result.embeddings, legacy.w_in, atol=ATOL)
+        np.testing.assert_allclose(result.context_embeddings, legacy.w_out, atol=ATOL)
+
+    def test_private_trainer_matches_legacy_loop(
+        self, small_graph, fast_training_config, fast_privacy_config
+    ):
+        legacy_w_in, legacy_w_out = _legacy_private_train(
+            small_graph, fast_training_config, fast_privacy_config, seed=9, epochs=5
+        )
+        result = SEPrivGEmbTrainer(
+            small_graph,
+            DegreeProximity(),
+            training_config=fast_training_config,
+            privacy_config=fast_privacy_config,
+            seed=9,
+        ).train(epochs=5)
+        np.testing.assert_allclose(result.embeddings, legacy_w_in, atol=ATOL)
+        np.testing.assert_allclose(result.context_embeddings, legacy_w_out, atol=ATOL)
+
+
+class _StopAfter(EngineHook):
+    def __init__(self, steps):
+        self.steps = steps
+
+    def before_step(self, engine, epoch):
+        return epoch < self.steps
+
+
+class TestTrainingEngine:
+    def _engine(self, graph, config, hooks=()):
+        objective, pool = _objective_and_pool(graph, k=config.negative_samples)
+        pool = pool.with_weights(objective.edge_weights(pool.centers, pool.positives))
+        rng = ensure_rng(0)
+        model = SkipGramModel(graph.num_nodes, config.embedding_dim, seed=rng)
+        return TrainingEngine(
+            model=model,
+            optimizer=SGDOptimizer(config.learning_rate),
+            objective=objective,
+            sampler=SubgraphSampler(pool, config.batch_size, seed=rng),
+            update_rule=DirectSparseUpdate(),
+            hooks=hooks,
+        )
+
+    def test_run_records_losses_and_copies_weights(self, small_graph, fast_training_config):
+        engine = self._engine(small_graph, fast_training_config, hooks=(LossLoggingHook(),))
+        result = engine.run(4)
+        assert result.epochs_run == 4
+        assert len(result.losses) == 4
+        assert not result.stopped_early
+        assert np.all(np.isfinite(result.embeddings))
+        # Published matrices are copies, not views of the live model.
+        result.embeddings[:] = 0.0
+        assert not np.allclose(engine.model.w_in, 0.0)
+
+    def test_hook_stops_training(self, small_graph, fast_training_config):
+        engine = self._engine(small_graph, fast_training_config, hooks=(_StopAfter(2),))
+        result = engine.run(10)
+        assert result.epochs_run == 2
+        assert result.stopped_early
+
+    def test_rejects_nonpositive_epochs(self, small_graph, fast_training_config):
+        engine = self._engine(small_graph, fast_training_config)
+        with pytest.raises(TrainingError):
+            engine.run(0)
