@@ -154,7 +154,9 @@ class StructurePreferenceObjective:
         self.proximity = proximity
         self.weight_floor = float(weight_floor)
         self.normalize_weights = bool(normalize_weights)
-        peak = float(proximity.matrix.max())
+        # max_value is tracked by the ProximityMatrix on both backends —
+        # reading .matrix here would densify a CSR-backed proximity.
+        peak = proximity.max_value
         self._weight_scale = 1.0 / peak if (self.normalize_weights and peak > 0) else 1.0
 
     def edge_weight(self, center: int, positive: int) -> float:

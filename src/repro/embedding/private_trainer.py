@@ -152,11 +152,8 @@ class SEPrivGEmbTrainer:
         self.optimizer = SGDOptimizer(self.training_config.learning_rate)
 
         # Theorem-3 negative sampler: candidates uniform, mass min(P)/Σ_j p_ij.
-        negative_sampler = ProximityNegativeSampler(
-            graph,
-            proximity_row_sums=self.proximity_matrix.row_sums,
-            min_positive_proximity=max(self.proximity_matrix.min_positive, 1e-12),
-            seed=self._rng,
+        negative_sampler = ProximityNegativeSampler.from_proximity(
+            graph, self.proximity_matrix, seed=self._rng
         )
         pool = generate_disjoint_subgraph_arrays(
             graph, negative_sampler, self.training_config.negative_samples

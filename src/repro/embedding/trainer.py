@@ -111,11 +111,8 @@ class SEGEmbTrainer:
         self.optimizer = SGDOptimizer(self.config.learning_rate)
 
         if negative_sampling == "proximity":
-            negative_sampler = ProximityNegativeSampler(
-                graph,
-                proximity_row_sums=self.proximity_matrix.row_sums,
-                min_positive_proximity=max(self.proximity_matrix.min_positive, 1e-12),
-                seed=self._rng,
+            negative_sampler = ProximityNegativeSampler.from_proximity(
+                graph, self.proximity_matrix, seed=self._rng
             )
         else:
             negative_sampler = UnigramNegativeSampler(graph, seed=self._rng)

@@ -80,6 +80,11 @@ class SubgraphBatch:
                 raise TrainingError(
                     f"weights must have shape {centers.shape}, got {weights.shape}"
                 )
+            # Weights come from proximity pair lookups (CSR or dense); a
+            # non-finite value would silently poison every gradient that
+            # touches the row, so reject it at construction.
+            if np.any(~np.isfinite(weights)):
+                raise TrainingError("proximity weights must be finite")
             object.__setattr__(self, "weights", weights)
 
     # ------------------------------------------------------------------ #

@@ -24,8 +24,9 @@ from ..evaluation import (
 from ..exceptions import ConfigurationError
 from ..embedding import SEGEmbTrainer, SEPrivGEmbTrainer
 from ..graph import Graph
-from ..proximity import DeepWalkProximity, DegreeProximity
+from ..proximity import DeepWalkProximity, DegreeProximity, compute_proximity
 from ..proximity.base import ProximityMatrix
+from ..proximity.cache import ProximityCache
 from ..utils.stats import summarize_runs
 
 __all__ = [
@@ -58,6 +59,35 @@ def _proximity_for(method: str, deepwalk_window: int = 5):
     raise ConfigurationError(f"method {method!r} has no proximity suffix")
 
 
+def _resolve_proximity(
+    method: str,
+    graph: Graph,
+    proximity: ProximityMatrix | None,
+    deepwalk_window: int,
+    proximity_cache: "ProximityCache | None | bool",
+) -> ProximityMatrix:
+    """Precomputed matrix if given, otherwise the (possibly cached) compute.
+
+    ``proximity_cache`` is tri-state: a :class:`ProximityCache` routes the
+    computation through that cache, ``None`` uses the process-wide default
+    cache, and ``False`` bypasses caching entirely (the matrix lives only
+    as long as its consumer — the right choice for one-shot embeds of
+    large graphs or throwaway split graphs).
+    """
+    if proximity is not None:
+        return proximity
+    measure = _proximity_for(method, deepwalk_window)
+    if proximity_cache is False:
+        return measure.compute(graph)
+    # compute_proximity is the one cache front door (None -> default cache);
+    # NB: an empty ProximityCache is falsy (len 0), so pass it verbatim
+    return compute_proximity(
+        measure,
+        graph,
+        cache=proximity_cache if isinstance(proximity_cache, ProximityCache) else None,
+    )
+
+
 def embed_with_method(
     method: str,
     graph: Graph,
@@ -66,6 +96,8 @@ def embed_with_method(
     seed: int | np.random.Generator | None = None,
     perturbation: str = "nonzero",
     proximity: ProximityMatrix | None = None,
+    deepwalk_window: int = 5,
+    proximity_cache: ProximityCache | None | bool = None,
 ) -> np.ndarray:
     """Produce an embedding matrix for ``graph`` with the named method.
 
@@ -83,10 +115,18 @@ def embed_with_method(
         Perturbation strategy for the SE-PrivGEmb variants ("nonzero" or
         "naive"); ignored by every other method.
     proximity:
-        Optional precomputed proximity matrix for the SE methods.  The
-        measures are closed-form and deterministic, so callers that embed
-        the same graph repeatedly (e.g. repeated evaluation runs) can
-        compute the matrix once and share it; ignored by the baselines.
+        Optional precomputed proximity matrix for the SE methods; when
+        omitted the matrix is fetched through the proximity cache, so
+        repeated sweeps over the same graph never recompute it.  Ignored by
+        the baselines.
+    deepwalk_window:
+        Window size ``T`` of the DeepWalk proximity used by the ``*_dw``
+        methods when ``proximity`` is not supplied.
+    proximity_cache:
+        Cache to route proximity computation through; ``None`` uses the
+        process-wide default cache, ``False`` disables caching so the
+        matrix is freed with the trainer (one-shot embeds of large
+        graphs).
     """
     key = method.strip().lower()
     if key not in METHOD_NAMES:
@@ -97,7 +137,7 @@ def embed_with_method(
     if key in {"se_privgemb_dw", "se_privgemb_deg"}:
         trainer = SEPrivGEmbTrainer(
             graph,
-            proximity if proximity is not None else _proximity_for(key),
+            _resolve_proximity(key, graph, proximity, deepwalk_window, proximity_cache),
             training_config=training,
             privacy_config=privacy,
             perturbation=perturbation,
@@ -108,7 +148,7 @@ def embed_with_method(
     if key in {"se_gemb_dw", "se_gemb_deg"}:
         trainer = SEGEmbTrainer(
             graph,
-            proximity if proximity is not None else _proximity_for(key),
+            _resolve_proximity(key, graph, proximity, deepwalk_window, proximity_cache),
             config=training,
             seed=seed,
         )
@@ -131,15 +171,22 @@ def evaluate_structural_equivalence(
     repeats: int = 3,
     seed: int = 0,
     perturbation: str = "nonzero",
+    deepwalk_window: int = 5,
+    proximity_cache: ProximityCache | None | bool = None,
 ) -> tuple[float, float]:
     """Mean ± SD StrucEqu of a method over repeated runs on one graph.
 
     The proximity matrix of the SE methods is deterministic given the graph,
-    so it is computed once here and shared across the repeats — repeated
-    runs only re-randomise initialisation, sampling and noise.
+    so it is fetched once through the proximity cache and shared across the
+    repeats — repeated runs only re-randomise initialisation, sampling and
+    noise, and later sweeps over the same graph reuse the cached matrix.
     """
     key = method.strip().lower()
-    proximity = _proximity_for(key).compute(graph) if key in _SE_METHODS else None
+    proximity = (
+        _resolve_proximity(key, graph, None, deepwalk_window, proximity_cache)
+        if key in _SE_METHODS
+        else None
+    )
     scores = []
     for repeat in range(repeats):
         embeddings = embed_with_method(
@@ -150,6 +197,8 @@ def evaluate_structural_equivalence(
             seed=seed + repeat,
             perturbation=perturbation,
             proximity=proximity,
+            deepwalk_window=deepwalk_window,
+            proximity_cache=proximity_cache,
         )
         scores.append(structural_equivalence_score(graph, embeddings, seed=seed + repeat))
     summary = summarize_runs(scores)
@@ -164,15 +213,33 @@ def evaluate_link_prediction(
     repeats: int = 3,
     seed: int = 0,
     perturbation: str = "nonzero",
+    deepwalk_window: int = 5,
+    proximity_cache: ProximityCache | None | bool = None,
 ) -> tuple[float, float]:
     """Mean ± SD link-prediction AUC of a method over repeated runs on one graph.
 
     Each repetition draws a fresh 90/10 split, trains on the training graph
     only, and scores the held-out pairs with the dot-product scorer.
+
+    Split graphs are throwaway — a new one per repeat — so their proximity
+    matrices are computed ephemerally and freed with the repeat rather than
+    routed into the process-wide default cache, where a large split matrix
+    would stay pinned for the process lifetime.  Pass an explicit
+    ``proximity_cache`` to opt into caching them (e.g. when sweeping
+    several ε values over the same seeds and splits).
     """
+    key = method.strip().lower()
+    # throwaway split graphs default to the uncached path (False), not the
+    # process-wide default cache — an explicit cache is still honoured
+    split_cache = proximity_cache if proximity_cache is not None else False
     scores = []
     for repeat in range(repeats):
         split = make_link_prediction_split(graph, seed=seed + repeat)
+        proximity = None
+        if key in _SE_METHODS:
+            proximity = _resolve_proximity(
+                key, split.training_graph, None, deepwalk_window, split_cache
+            )
         embeddings = embed_with_method(
             method,
             split.training_graph,
@@ -180,6 +247,9 @@ def evaluate_link_prediction(
             privacy,
             seed=seed + repeat,
             perturbation=perturbation,
+            proximity=proximity,
+            deepwalk_window=deepwalk_window,
+            proximity_cache=proximity_cache,
         )
         scores.append(link_prediction_auc(embeddings, split))
     summary = summarize_runs(scores)

@@ -14,6 +14,7 @@ relabel arbitrary hashable node identifiers.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -21,7 +22,21 @@ from scipy import sparse
 
 from ..exceptions import GraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "graph_content_fingerprint"]
+
+
+def graph_content_fingerprint(num_nodes: int, edges: np.ndarray) -> str:
+    """Content hash of a graph given as ``(num_nodes, canonical edge array)``.
+
+    The single definition of the fingerprint format — used by
+    :meth:`Graph.content_fingerprint` and by the proximity cache's fallback
+    for duck-typed graph objects, so the two can never drift apart.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-graph-v1")
+    digest.update(int(num_nodes).to_bytes(8, "little"))
+    digest.update(np.ascontiguousarray(np.asarray(edges, dtype=np.int64)).tobytes())
+    return digest.hexdigest()[:32]
 
 
 class Graph:
@@ -64,6 +79,8 @@ class Graph:
         self._neighbors: list[np.ndarray] = [None] * self._num_nodes  # type: ignore[list-item]
         self._build_neighbors()
         self._adjacency: sparse.csr_matrix | None = None
+        self._adjacency_keys: np.ndarray | None = None
+        self._content_fingerprint: str | None = None
         self._edge_lookup = {(int(u), int(v)) for u, v in self._edges}
 
     # ------------------------------------------------------------------ #
@@ -167,8 +184,42 @@ class Graph:
                 (data, (rows, cols)), shape=(self._num_nodes, self._num_nodes)
             )
         if dense:
-            return np.asarray(self._adjacency.todense())
+            return self._adjacency.toarray()
         return self._adjacency
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the graph (node count + canonical edge array).
+
+        Memoized on first use — the instance is immutable (every mutation
+        helper returns a new graph), same as the lazy adjacency — so cache
+        layers keyed by graph content pay the edge-array hash only once.
+        """
+        if self._content_fingerprint is None:
+            self._content_fingerprint = graph_content_fingerprint(
+                self._num_nodes, self._edges
+            )
+        return self._content_fingerprint
+
+    def has_edges_bulk(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`has_edge` for parallel node-index arrays.
+
+        One binary search over the CSR adjacency keys instead of a Python
+        set lookup per pair — the bulk negative sampler checks hundreds of
+        thousands of candidate pairs per call.
+        """
+        from ..utils.sparse import csr_entry_keys, csr_lookup, indices_in_range
+
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if not indices_in_range(self._num_nodes, u, v):
+            raise GraphError(
+                f"node index outside [0, {self._num_nodes}) in bulk edge query"
+            )
+        adjacency = self.adjacency_matrix()
+        if self._adjacency_keys is None:
+            self._adjacency_keys = csr_entry_keys(adjacency)
+        _, found = csr_lookup(adjacency, u, v, keys=self._adjacency_keys)
+        return found & (u != v)
 
     # ------------------------------------------------------------------ #
     # graph-level operations

@@ -61,7 +61,15 @@ class EdgeSubgraph:
 
 
 class _NegativeSamplerBase:
-    """Common machinery: draw nodes from a distribution, rejecting neighbours."""
+    """Common machinery: draw nodes from a distribution, rejecting neighbours.
+
+    Draws are vectorised: candidates come from one inverse-CDF lookup
+    (``searchsorted`` over the cumulative probabilities) per rejection
+    round, and neighbour rejection runs through the graph's bulk CSR edge
+    test.  The seed implementation paid one O(n) ``rng.choice`` per
+    negative, which made Algorithm-1 pool construction the bottleneck on
+    graphs past a few thousand nodes.
+    """
 
     def __init__(
         self,
@@ -82,6 +90,8 @@ class _NegativeSamplerBase:
             raise GraphError("negative sampling probabilities must not all be zero")
         self.graph = graph
         self.probabilities = probabilities / total
+        self._cdf = np.cumsum(self.probabilities)
+        self._cdf[-1] = 1.0  # guard the top bin against cumsum round-off
         self._rng = ensure_rng(seed)
         self._max_attempts = int(max_attempts)
 
@@ -91,29 +101,57 @@ class _NegativeSamplerBase:
         Falls back to uniform sampling over valid nodes if rejection sampling
         fails (e.g. near-complete graphs).
         """
+        return self.sample_negatives_bulk(np.array([center], dtype=np.int64), count)[0]
+
+    def sample_negatives_bulk(self, centers: np.ndarray, count: int) -> np.ndarray:
+        """Sample ``count`` negatives for every centre in one vectorised pass.
+
+        Returns an ``[len(centers), count]`` array where no entry is a
+        neighbour of (or equal to) its row's centre.  All pending draws
+        across all rows share each rejection round, so the cost is a few
+        ``searchsorted`` passes regardless of the number of centres.
+        """
         if count < 0:
             raise GraphError(f"count must be non-negative, got {count}")
-        forbidden = set(self.graph.neighbors(center).tolist())
-        forbidden.add(int(center))
-        negatives: list[int] = []
-        attempts = 0
-        while len(negatives) < count and attempts < self._max_attempts:
-            attempts += 1
-            candidate = int(self._rng.choice(self.graph.num_nodes, p=self.probabilities))
-            if candidate not in forbidden:
-                negatives.append(candidate)
-        if len(negatives) < count:
-            allowed = np.array(
-                [v for v in range(self.graph.num_nodes) if v not in forbidden],
-                dtype=np.int64,
-            )
-            if allowed.size == 0:
-                raise GraphError(
-                    f"node {center} is connected to every other node; cannot sample negatives"
+        centers = np.asarray(centers, dtype=np.int64)
+        total = centers.shape[0] * count
+        result = np.full(total, -1, dtype=np.int64)
+        if total == 0:
+            return result.reshape(centers.shape[0], count)
+        flat_centers = np.repeat(centers, count)
+        pending = np.arange(total)
+        rounds = 0
+        while pending.size and rounds < self._max_attempts:
+            rounds += 1
+            draws = np.searchsorted(
+                self._cdf, self._rng.random(pending.size), side="right"
+            ).astype(np.int64)
+            np.minimum(draws, self.graph.num_nodes - 1, out=draws)
+            row_centers = flat_centers[pending]
+            valid = ~self.graph.has_edges_bulk(row_centers, draws)
+            valid &= draws != row_centers
+            result[pending[valid]] = draws[valid]
+            pending = pending[~valid]
+        if pending.size:
+            # Rejection failed (near-complete neighbourhoods): enumerate the
+            # allowed nodes once per distinct centre and draw uniformly.
+            by_center: dict[int, list[int]] = {}
+            for index in pending:
+                by_center.setdefault(int(flat_centers[index]), []).append(index)
+            for center, indices in by_center.items():
+                forbidden = set(self.graph.neighbors(center).tolist())
+                forbidden.add(center)
+                allowed = np.array(
+                    [v for v in range(self.graph.num_nodes) if v not in forbidden],
+                    dtype=np.int64,
                 )
-            extra = self._rng.choice(allowed, size=count - len(negatives), replace=True)
-            negatives.extend(int(x) for x in np.atleast_1d(extra))
-        return np.asarray(negatives, dtype=np.int64)
+                if allowed.size == 0:
+                    raise GraphError(
+                        f"node {center} is connected to every other node; "
+                        "cannot sample negatives"
+                    )
+                result[indices] = self._rng.choice(allowed, size=len(indices), replace=True)
+        return result.reshape(centers.shape[0], count)
 
 
 class UnigramNegativeSampler(_NegativeSamplerBase):
@@ -175,6 +213,26 @@ class ProximityNegativeSampler(_NegativeSamplerBase):
         self.row_sums = proximity_row_sums
         self.min_positive_proximity = float(min_positive_proximity)
 
+    @classmethod
+    def from_proximity(
+        cls,
+        graph: Graph,
+        proximity,
+        seed: int | np.random.Generator | None = None,
+    ) -> "ProximityNegativeSampler":
+        """Build the Theorem-3 sampler straight from a ``ProximityMatrix``.
+
+        Reads ``row_sums`` / ``min_positive`` off the matrix wrapper, which
+        tracks them on both the CSR and the dense backend — no densified
+        matrix is ever touched.
+        """
+        return cls(
+            graph,
+            proximity_row_sums=proximity.row_sums,
+            min_positive_proximity=max(proximity.min_positive, 1e-12),
+            seed=seed,
+        )
+
     def negative_probability(self, center: int) -> float:
         """Return ``min(P) / Σ_j p_ij`` for the given centre node.
 
@@ -206,7 +264,9 @@ def generate_disjoint_subgraph_arrays(
     graph:
         The training graph.
     negative_sampler:
-        Any sampler exposing ``sample_negatives(center, count)``.
+        Any sampler exposing ``sample_negatives(center, count)``; samplers
+        that also provide ``sample_negatives_bulk(centers, count)`` (all
+        built-in ones do) take the vectorised path.
     num_negatives:
         ``k``, the number of negative samples per edge.
     both_directions:
@@ -219,19 +279,26 @@ def generate_disjoint_subgraph_arrays(
         raise GraphError("cannot build subgraphs for a graph with no edges")
     count = graph.num_edges * (2 if both_directions else 1)
     centers = np.empty(count, dtype=np.int64)
+    positives = np.empty(count, dtype=np.int64)
+    if both_directions:
+        # preserve the row layout of the per-edge loop: u→v then v→u
+        centers[0::2] = graph.edges[:, 0]
+        positives[0::2] = graph.edges[:, 1]
+        centers[1::2] = graph.edges[:, 1]
+        positives[1::2] = graph.edges[:, 0]
+    else:
+        centers[:] = graph.edges[:, 0]
+        positives[:] = graph.edges[:, 1]
     contexts = np.empty((count, 1 + num_negatives), dtype=np.int64)
-    row = 0
-    for u, v in graph.edges:
-        u, v = int(u), int(v)
-        centers[row] = u
-        contexts[row, 0] = v
-        contexts[row, 1:] = negative_sampler.sample_negatives(u, num_negatives)
-        row += 1
-        if both_directions:
-            centers[row] = v
-            contexts[row, 0] = u
-            contexts[row, 1:] = negative_sampler.sample_negatives(v, num_negatives)
-            row += 1
+    contexts[:, 0] = positives
+    if hasattr(negative_sampler, "sample_negatives_bulk"):
+        contexts[:, 1:] = negative_sampler.sample_negatives_bulk(centers, num_negatives)
+    else:
+        # duck-typed custom samplers only promise sample_negatives(center, k)
+        for row, center in enumerate(centers):
+            contexts[row, 1:] = negative_sampler.sample_negatives(
+                int(center), num_negatives
+            )
     return SubgraphBatch(centers=centers, contexts=contexts)
 
 

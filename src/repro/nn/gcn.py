@@ -23,7 +23,7 @@ def normalized_adjacency(graph: Graph, add_self_loops: bool = True) -> np.ndarra
     """Return ``D^{-1/2} (A + I) D^{-1/2}`` as a dense array."""
     adjacency = graph.adjacency_matrix()
     if sparse.issparse(adjacency):
-        adjacency = np.asarray(adjacency.todense())
+        adjacency = adjacency.toarray()
     if add_self_loops:
         adjacency = adjacency + np.eye(graph.num_nodes)
     degrees = adjacency.sum(axis=1)

@@ -1,19 +1,28 @@
 """Node proximity measures (the "structure preference" inputs of SE-PrivGEmb)."""
 
 from .base import ProximityMeasure, ProximityMatrix
+from .cache import ProximityCache, default_proximity_cache, graph_fingerprint
 from .first_order import (
     CommonNeighborsProximity,
     JaccardProximity,
     PreferentialAttachmentProximity,
 )
 from .second_order import AdamicAdarProximity, ResourceAllocationProximity
-from .high_order import KatzProximity, PersonalizedPageRankProximity, DeepWalkProximity
+from .high_order import (
+    DeepWalkProximity,
+    KatzProximity,
+    PersonalizedPageRankProximity,
+    spectral_radius,
+)
 from .degree import DegreeProximity
-from .registry import available_proximities, get_proximity
+from .registry import available_proximities, compute_proximity, get_proximity
 
 __all__ = [
     "ProximityMeasure",
     "ProximityMatrix",
+    "ProximityCache",
+    "default_proximity_cache",
+    "graph_fingerprint",
     "CommonNeighborsProximity",
     "JaccardProximity",
     "PreferentialAttachmentProximity",
@@ -23,6 +32,8 @@ __all__ = [
     "PersonalizedPageRankProximity",
     "DeepWalkProximity",
     "DegreeProximity",
+    "spectral_radius",
     "available_proximities",
+    "compute_proximity",
     "get_proximity",
 ]

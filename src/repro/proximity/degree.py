@@ -12,6 +12,7 @@ observed edges).
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as _sp
 
 from ..graph import Graph
 from .base import ProximityMeasure
@@ -27,14 +28,18 @@ class DegreeProximity(ProximityMeasure):
     connected_only:
         If ``True`` (default, matching the paper's training objective where
         only observed edges carry a preference weight) the proximity is
-        non-zero only for adjacent pairs.  If ``False`` every pair gets a
-        degree-product score, which is useful for analysis.
+        non-zero only for adjacent pairs — exactly the adjacency pattern, so
+        the measure is sparse-first.  If ``False`` every pair gets a degree
+        product score, which is useful for analysis but dense by nature.
     """
 
     name = "degree"
 
     def __init__(self, connected_only: bool = True) -> None:
         self.connected_only = bool(connected_only)
+        # Sparse support is exactly the adjacency pattern — but only when
+        # restricted to observed edges.
+        self.supports_sparse = self.connected_only
 
     def compute_matrix(self, graph: Graph) -> np.ndarray:
         degrees = graph.degrees().astype(float)
@@ -46,6 +51,18 @@ class DegreeProximity(ProximityMeasure):
             adjacency = self._dense_adjacency(graph)
             scores = scores * adjacency
         return scores
+
+    def compute_sparse_matrix(self, graph: Graph) -> _sp.csr_matrix:
+        if not self.connected_only:
+            return super().compute_sparse_matrix(graph)
+        degrees = graph.degrees().astype(float)
+        peak = float(degrees.max()) if degrees.size else 0.0
+        n = graph.num_nodes
+        if peak <= 0:
+            return _sp.csr_matrix((n, n))
+        adjacency = self._sparse_adjacency(graph).tocoo()
+        data = np.sqrt(degrees[adjacency.row] * degrees[adjacency.col]) / peak
+        return _sp.csr_matrix((data, (adjacency.row, adjacency.col)), shape=(n, n))
 
     def __repr__(self) -> str:
         return f"DegreeProximity(connected_only={self.connected_only})"

@@ -2,12 +2,14 @@
 
 Adamic–Adar and resource allocation both down-weight common neighbours by
 (a function of) their degree; the paper lists them as the canonical
-second-order structural features.
+second-order structural features.  Both are weighted two-hop counts
+``A diag(w) A`` and therefore share the sparse pattern of ``A @ A``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as _sp
 
 from ..graph import Graph
 from .base import ProximityMeasure
@@ -15,7 +17,27 @@ from .base import ProximityMeasure
 __all__ = ["AdamicAdarProximity", "ResourceAllocationProximity"]
 
 
-class AdamicAdarProximity(ProximityMeasure):
+class _DegreeWeightedTwoHop(ProximityMeasure):
+    """Shared machinery for ``p_ij = Σ_{w ∈ N(i) ∩ N(j)} weight(d_w)``."""
+
+    supports_sparse = True
+
+    def _weights(self, degrees: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def compute_matrix(self, graph: Graph) -> np.ndarray:
+        adjacency = self._dense_adjacency(graph)
+        weights = self._weights(adjacency.sum(axis=1))
+        return (adjacency * weights[None, :]) @ adjacency
+
+    def compute_sparse_matrix(self, graph: Graph) -> _sp.csr_matrix:
+        adjacency = self._sparse_adjacency(graph)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        weights = self._weights(degrees)
+        return (adjacency @ _sp.diags(weights) @ adjacency).tocsr()
+
+
+class AdamicAdarProximity(_DegreeWeightedTwoHop):
     """``p_ij = Σ_{w ∈ N(i) ∩ N(j)} 1 / log d_w``.
 
     Common neighbours with degree 1 contribute nothing (their ``log`` weight
@@ -24,24 +46,20 @@ class AdamicAdarProximity(ProximityMeasure):
 
     name = "adamic_adar"
 
-    def compute_matrix(self, graph: Graph) -> np.ndarray:
-        adjacency = self._dense_adjacency(graph)
-        degrees = adjacency.sum(axis=1)
-        weights = np.zeros_like(degrees)
+    def _weights(self, degrees: np.ndarray) -> np.ndarray:
+        weights = np.zeros_like(degrees, dtype=float)
         mask = degrees > 1
         weights[mask] = 1.0 / np.log(degrees[mask])
-        return (adjacency * weights[None, :]) @ adjacency
+        return weights
 
 
-class ResourceAllocationProximity(ProximityMeasure):
+class ResourceAllocationProximity(_DegreeWeightedTwoHop):
     """``p_ij = Σ_{w ∈ N(i) ∩ N(j)} 1 / d_w`` (Zhou, Lü & Zhang 2009)."""
 
     name = "resource_allocation"
 
-    def compute_matrix(self, graph: Graph) -> np.ndarray:
-        adjacency = self._dense_adjacency(graph)
-        degrees = adjacency.sum(axis=1)
-        weights = np.zeros_like(degrees)
+    def _weights(self, degrees: np.ndarray) -> np.ndarray:
+        weights = np.zeros_like(degrees, dtype=float)
         mask = degrees > 0
         weights[mask] = 1.0 / degrees[mask]
-        return (adjacency * weights[None, :]) @ adjacency
+        return weights

@@ -1,4 +1,4 @@
-"""Small shared utilities: RNG handling, numerically stable math, timing."""
+"""Small shared utilities: RNG handling, stable math, CSR lookups, timing."""
 
 from .rng import ensure_rng, spawn_rngs
 from .math import (
@@ -10,11 +10,14 @@ from .math import (
     row_l2_norms,
     pairwise_euclidean,
 )
+from .sparse import csr_entry_keys, csr_lookup
 from .timer import Timer
 from .logging import get_logger
 from .stats import RunningStats, summarize_runs
 
 __all__ = [
+    "csr_entry_keys",
+    "csr_lookup",
     "ensure_rng",
     "spawn_rngs",
     "sigmoid",

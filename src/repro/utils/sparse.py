@@ -1,0 +1,77 @@
+"""Vectorised helpers for CSR matrices.
+
+scipy's own fancy indexing ``csr[rows, cols]`` materialises an
+``np.matrix`` and is slow for large index arrays; the helpers here answer
+"what is the stored value at each ``(row, col)`` pair" with one
+``np.searchsorted`` over a flattened key array, never densifying.
+
+The trick: in a canonical CSR matrix (sorted indices, no duplicates) the
+flat keys ``row * ncols + col`` of the stored entries are strictly
+increasing, so membership and value lookup for arbitrary query pairs is a
+binary search over one int64 array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["csr_entry_keys", "csr_lookup", "indices_in_range"]
+
+
+def indices_in_range(n: int, *arrays: np.ndarray) -> bool:
+    """``True`` iff every index in every array lies in ``[0, n)``.
+
+    The key arithmetic in :func:`csr_lookup` would alias an out-of-range
+    index into another row (and numpy would wrap negatives), so callers
+    must validate with this before looking up — raising their own
+    domain-specific error on ``False``.
+    """
+    return all(
+        (not a.size) or (int(a.min()) >= 0 and int(a.max()) < n) for a in arrays
+    )
+
+
+def csr_entry_keys(matrix: sparse.csr_matrix) -> np.ndarray:
+    """Return the sorted int64 keys ``row * ncols + col`` of the stored entries.
+
+    The matrix must be in canonical form (``sum_duplicates`` +
+    ``sort_indices``); callers that build matrices through scipy operations
+    get this for free, others should call ``matrix.sum_duplicates()`` first.
+    """
+    matrix = matrix.tocsr()
+    row_counts = np.diff(matrix.indptr)
+    rows = np.repeat(np.arange(matrix.shape[0], dtype=np.int64), row_counts)
+    return rows * np.int64(matrix.shape[1]) + matrix.indices.astype(np.int64)
+
+
+def csr_lookup(
+    matrix: sparse.csr_matrix,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised lookup of ``matrix[rows[i], cols[i]]`` for parallel arrays.
+
+    Returns ``(values, found)`` where ``values[i]`` is the stored value (0.0
+    for absent entries) and ``found[i]`` says whether the entry is stored at
+    all — callers that care about explicit zeros can distinguish them from
+    structural ones.  ``keys`` may be passed to amortise
+    :func:`csr_entry_keys` across many lookups on the same matrix.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise ValueError(f"rows and cols must align, got {rows.shape} vs {cols.shape}")
+    if keys is None:
+        keys = csr_entry_keys(matrix)
+    queries = rows * np.int64(matrix.shape[1]) + cols
+    positions = np.searchsorted(keys, queries)
+    positions = np.minimum(positions, max(keys.shape[0] - 1, 0))
+    if keys.shape[0] == 0:
+        found = np.zeros(rows.shape, dtype=bool)
+    else:
+        found = keys[positions] == queries
+    values = np.zeros(rows.shape, dtype=matrix.dtype)
+    values[found] = matrix.data[positions[found]]
+    return values, found

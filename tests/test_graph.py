@@ -72,6 +72,29 @@ class TestAccessors:
         assert not triangle_graph.has_edge(1, 3)
         assert not triangle_graph.has_edge(2, 2)
 
+    def test_has_edges_bulk_matches_scalar(self, small_graph, rng):
+        u = rng.integers(0, small_graph.num_nodes, 500)
+        v = rng.integers(0, small_graph.num_nodes, 500)
+        bulk = small_graph.has_edges_bulk(u, v)
+        scalar = np.array([small_graph.has_edge(int(a), int(b)) for a, b in zip(u, v)])
+        np.testing.assert_array_equal(bulk, scalar)
+        # both directions of a known edge, and self-pairs, behave like has_edge
+        edge = small_graph.edges[0]
+        np.testing.assert_array_equal(
+            small_graph.has_edges_bulk(
+                np.array([edge[0], edge[1], 0]), np.array([edge[1], edge[0], 0])
+            ),
+            [True, True, False],
+        )
+
+    def test_has_edges_bulk_rejects_out_of_range(self, small_graph):
+        n = small_graph.num_nodes
+        # (0, n) would alias to key (1, 0) through row*n+col arithmetic
+        with pytest.raises(GraphError):
+            small_graph.has_edges_bulk(np.array([0]), np.array([n]))
+        with pytest.raises(GraphError):
+            small_graph.has_edges_bulk(np.array([-1]), np.array([0]))
+
     def test_node_out_of_range_raises(self, triangle_graph):
         with pytest.raises(GraphError):
             triangle_graph.degree(99)

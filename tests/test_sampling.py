@@ -84,6 +84,57 @@ class TestProximityNegativeSampler:
             ProximityNegativeSampler(small_graph, proximity.row_sums, 0.0)
 
 
+class TestBulkNegativeSampling:
+    def test_bulk_shape_and_validity(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        centers = small_graph.edges[:, 0]
+        negatives = sampler.sample_negatives_bulk(centers, 4)
+        assert negatives.shape == (centers.shape[0], 4)
+        for row, center in enumerate(centers):
+            neighbor_set = set(small_graph.neighbors(int(center)).tolist())
+            for neg in negatives[row]:
+                assert int(neg) not in neighbor_set
+                assert int(neg) != int(center)
+
+    def test_bulk_deterministic_per_seed(self, small_graph):
+        centers = small_graph.edges[:20, 0]
+        first = UnigramNegativeSampler(small_graph, seed=7).sample_negatives_bulk(centers, 3)
+        second = UnigramNegativeSampler(small_graph, seed=7).sample_negatives_bulk(centers, 3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_bulk_zero_count(self, small_graph):
+        sampler = UnigramNegativeSampler(small_graph, seed=0)
+        assert sampler.sample_negatives_bulk(np.array([0, 1]), 0).shape == (2, 0)
+
+    def test_duck_typed_sampler_without_bulk_method_still_works(self, small_graph):
+        class ScalarOnlySampler:
+            """The documented minimal contract: sample_negatives(center, k)."""
+
+            def __init__(self):
+                self._rng = np.random.default_rng(0)
+
+            def sample_negatives(self, center, count):
+                out = []
+                while len(out) < count:
+                    candidate = int(self._rng.integers(0, small_graph.num_nodes))
+                    if candidate != center and not small_graph.has_edge(center, candidate):
+                        out.append(candidate)
+                return np.asarray(out, dtype=np.int64)
+
+        from repro.graph.sampling import generate_disjoint_subgraph_arrays
+
+        batch = generate_disjoint_subgraph_arrays(small_graph, ScalarOnlySampler(), 3)
+        assert len(batch) == small_graph.num_edges
+        assert batch.contexts.shape == (small_graph.num_edges, 4)
+
+    def test_from_proximity_reads_theorem3_quantities(self, small_graph):
+        proximity = DeepWalkProximity(window_size=2).compute(small_graph)
+        sampler = ProximityNegativeSampler.from_proximity(small_graph, proximity, seed=0)
+        assert sampler.negative_probability(0) == pytest.approx(
+            proximity.negative_sampling_mass(0)
+        )
+
+
 class TestGenerateDisjointSubgraphs:
     def test_one_subgraph_per_edge(self, small_graph):
         sampler = UnigramNegativeSampler(small_graph, seed=0)
