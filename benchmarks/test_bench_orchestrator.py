@@ -1,0 +1,163 @@
+"""Benchmarks for the parallel, resumable experiment orchestrator.
+
+Three properties are measured and recorded as ``BENCH_*.json`` artifacts:
+
+* **dispatch scaling** — a smoke grid of synthetic sleep cells (blocking,
+  not CPU-bound, so the measurement is independent of the machine's core
+  count) must run ≥ 3× faster at ``workers=4`` than serially;
+* **CPU scaling** — the same assertion on a real training grid, asserted
+  only on machines with ≥ 4 physical cores (hosted CI and laptops differ
+  wildly; the recorded JSON keeps the trajectory either way);
+* **warm restart** — re-running a completed sweep against its RunStore
+  must recompute zero cells and replay the stored results in milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import PrivacyConfig, TrainingConfig
+from repro.experiments import execute, table_batch_size
+from repro.experiments.orchestrator import RunSpec
+
+_SLEEP_TRAINING = TrainingConfig(
+    embedding_dim=8, batch_size=24, learning_rate=0.1, negative_samples=3, epochs=4
+)
+
+
+def _sleep_grid(cells: int, duration: float) -> list[RunSpec]:
+    return [
+        RunSpec(
+            kind="sleep",
+            method="sleep",
+            dataset="synthetic",
+            dataset_fingerprint="",
+            training=_SLEEP_TRAINING,
+            privacy=PrivacyConfig(),
+            repeats=1,
+            seed=index,
+            options=(("duration", duration),),
+            metric="sleep",
+        )
+        for index in range(cells)
+    ]
+
+
+def test_orchestrator_dispatch_speedup(bench_artifact):
+    """workers=4 must dispatch the smoke grid ≥ 3× faster than workers=1."""
+    cells, duration = 12, 0.25
+    specs = _sleep_grid(cells, duration)
+
+    started = time.perf_counter()
+    serial = execute(specs, workers=1)
+    serial_seconds = time.perf_counter() - started
+    assert serial.computed == cells
+
+    started = time.perf_counter()
+    parallel = execute(specs, workers=4)
+    parallel_seconds = time.perf_counter() - started
+    assert parallel.computed == cells
+    assert parallel.results == serial.results
+
+    speedup = serial_seconds / parallel_seconds
+    floor = float(os.environ.get("REPRO_BENCH_MIN_ORCH_SPEEDUP", "3"))
+    bench_artifact(
+        "orchestrator_dispatch_speedup",
+        {
+            "cells": cells,
+            "sleep_seconds_per_cell": duration,
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "workers": 4,
+            "speedup": round(speedup, 3),
+            "floor": floor,
+        },
+    )
+    print(f"\norchestrator dispatch: serial {serial_seconds:.2f}s, "
+          f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= floor, (
+        f"workers=4 speedup {speedup:.2f}x below the {floor:.1f}x floor"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="CPU-bound scaling needs >= 4 cores"
+)
+def test_orchestrator_cpu_speedup(bench_settings, bench_artifact):
+    """Real training cells scale with workers on multi-core machines.
+
+    ``os.cpu_count()`` counts *logical* CPUs, so SMT-limited hosts (4
+    vCPUs on 2 physical cores, common on hosted CI) pass the gate but
+    cannot reach the local 2x floor — CI relaxes it via
+    ``REPRO_BENCH_MIN_ORCH_CPU_SPEEDUP``.
+    """
+    settings = bench_settings.with_updates(
+        datasets=("chameleon", "power"),
+        training=bench_settings.training.with_updates(epochs=40),
+    )
+    batch_sizes = (32, 64, 96)
+
+    started = time.perf_counter()
+    serial = table_batch_size(settings, batch_sizes=batch_sizes)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = table_batch_size(settings, batch_sizes=batch_sizes, workers=4)
+    parallel_seconds = time.perf_counter() - started
+    assert parallel.rows == serial.rows
+
+    speedup = serial_seconds / parallel_seconds
+    floor = float(os.environ.get("REPRO_BENCH_MIN_ORCH_CPU_SPEEDUP", "2"))
+    bench_artifact(
+        "orchestrator_cpu_speedup",
+        {
+            "cells": len(serial),
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_seconds": round(parallel_seconds, 3),
+            "workers": 4,
+            "cpu_count": os.cpu_count(),
+            "speedup": round(speedup, 3),
+            "floor": floor,
+        },
+    )
+    print(f"\norchestrator cpu: serial {serial_seconds:.2f}s, "
+          f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= floor
+
+
+def test_orchestrator_warm_restart(tmp_path, quick_bench_settings, bench_artifact):
+    """A completed sweep resumes from its store with zero recomputation."""
+    settings = quick_bench_settings.with_updates(
+        training=quick_bench_settings.training.with_updates(epochs=30)
+    )
+    batch_sizes = (32, 64)
+    store = tmp_path / "runs"
+
+    started = time.perf_counter()
+    cold = table_batch_size(settings, batch_sizes=batch_sizes, store=store)
+    cold_seconds = time.perf_counter() - started
+    assert cold.run_report.computed == len(cold)
+
+    started = time.perf_counter()
+    warm = table_batch_size(settings, batch_sizes=batch_sizes, store=store)
+    warm_seconds = time.perf_counter() - started
+
+    assert warm.run_report.computed == 0, "warm restart recomputed cells"
+    assert warm.run_report.reused == len(warm)
+    assert warm.rows == cold.rows
+    bench_artifact(
+        "orchestrator_warm_restart",
+        {
+            "cells": len(cold),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_vs_cold": round(warm_seconds / max(cold_seconds, 1e-9), 5),
+        },
+    )
+    print(f"\nwarm restart: cold {cold_seconds:.2f}s, warm {warm_seconds*1000:.1f}ms")
+    # "milliseconds, not retraining": allow generous CI jitter, still far
+    # below any real training cell
+    assert warm_seconds < min(1.0, cold_seconds)

@@ -8,6 +8,7 @@ the original graph with the test edges removed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,6 +33,13 @@ class LinkPredictionSplit:
         Edge / non-edge pairs available for fitting a downstream scorer.
     test_positive / test_negative:
         Held-out pairs on which AUC is measured.
+    untrained_test_endpoints:
+        Number of test-positive endpoints left with *zero* training edges
+        by the split.  Such nodes never receive a gradient, so the scorer
+        ranks their untrained initialisation noise — the paper's protocol
+        implicitly assumes the training graph keeps every test endpoint
+        connected.  A non-zero count is reported with a warning by
+        :func:`make_link_prediction_split`.
     """
 
     training_graph: Graph
@@ -39,6 +47,7 @@ class LinkPredictionSplit:
     train_negative: np.ndarray
     test_positive: np.ndarray
     test_negative: np.ndarray
+    untrained_test_endpoints: int = 0
 
     def test_labels_and_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(labels, pairs)`` for the test set (positives first)."""
@@ -93,10 +102,24 @@ def make_link_prediction_split(
         len(train_positive), rng, exclude=[(int(u), int(v)) for u, v in test_negative]
     )
 
+    training_degrees = training_graph.degrees()
+    test_endpoints = np.unique(test_positive)
+    untrained = int(np.count_nonzero(training_degrees[test_endpoints] == 0))
+    if untrained:
+        warnings.warn(
+            f"link-prediction split of {graph.name!r} left {untrained} test-positive "
+            "endpoint(s) with no training edges; their embeddings are untrained "
+            "initialisation noise and will distort AUC (the paper's protocol "
+            "assumes the training graph stays connected)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
     return LinkPredictionSplit(
         training_graph=training_graph,
         train_positive=train_positive,
         train_negative=train_negative,
         test_positive=test_positive,
         test_negative=test_negative,
+        untrained_test_endpoints=untrained,
     )

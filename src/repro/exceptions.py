@@ -43,3 +43,7 @@ class TrainingError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when an evaluation task receives inconsistent inputs."""
+
+
+class OrchestrationError(ReproError):
+    """Raised when an experiment sweep cannot be expanded or executed."""

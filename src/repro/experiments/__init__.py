@@ -1,8 +1,16 @@
-"""Experiment harness reproducing every table and figure of the paper."""
+"""Experiment harness reproducing every table and figure of the paper.
+
+Run sweeps from the command line with ``python -m repro.experiments`` —
+e.g. ``python -m repro.experiments run --table 2 --workers 8 --store runs/``
+executes the Table-II grid on eight worker processes and memoizes every
+finished cell in ``runs/`` so a killed sweep resumes without recomputation.
+"""
 
 from .configs import ExperimentSettings, PAPER_EPSILONS, PAPER_METHODS
+from .orchestrator import RunSpec, SweepReport, execute
 from .results import ExperimentResult, ResultTable
 from .runner import embed_with_method, evaluate_structural_equivalence, evaluate_link_prediction
+from .store import RunStore
 from .tables import (
     table_batch_size,
     table_learning_rate,
@@ -26,6 +34,10 @@ __all__ = [
     "PAPER_METHODS",
     "ExperimentResult",
     "ResultTable",
+    "RunSpec",
+    "RunStore",
+    "SweepReport",
+    "execute",
     "embed_with_method",
     "evaluate_structural_equivalence",
     "evaluate_link_prediction",

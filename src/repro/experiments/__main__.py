@@ -1,0 +1,175 @@
+"""Command-line entry point for the experiment orchestrator.
+
+Examples
+--------
+Run the Table-II sweep on 8 worker processes, memoizing cells in ``runs/``::
+
+    python -m repro.experiments run --table 2 --workers 8 --store runs/
+
+Re-running the same command after a kill resumes from the store (completed
+cells are reported as ``reused`` and never recomputed).  Figures and
+ablations work the same way::
+
+    python -m repro.experiments run --figure 3 --smoke --workers 2
+    python -m repro.experiments run --ablation negative_sampling --store runs/
+
+``list`` prints the available sweeps and datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from ..graph import available_datasets
+from .ablations import (
+    ablation_gradient_normalization,
+    ablation_iterate_averaging,
+    ablation_negative_sampling,
+)
+from .configs import ExperimentSettings
+from .figures import figure_link_prediction, figure_structural_equivalence
+from .tables import (
+    table_batch_size,
+    table_clipping,
+    table_learning_rate,
+    table_negative_samples,
+    table_perturbation,
+)
+
+#: table number -> (sweep function, name of its sweep-values kwarg, smoke values)
+_TABLES: dict[int, tuple[Callable, str, tuple]] = {
+    2: (table_batch_size, "batch_sizes", (32, 64)),
+    3: (table_learning_rate, "learning_rates", (0.05, 0.1)),
+    4: (table_clipping, "thresholds", (1.0, 2.0)),
+    5: (table_negative_samples, "negative_samples", (3, 5)),
+    6: (table_perturbation, "epsilons", (3.5,)),
+}
+
+_FIGURES: dict[int, Callable] = {
+    3: figure_structural_equivalence,
+    4: figure_link_prediction,
+}
+
+_ABLATIONS: dict[str, Callable] = {
+    "iterate_averaging": ablation_iterate_averaging,
+    "gradient_normalization": ablation_gradient_normalization,
+    "negative_sampling": ablation_negative_sampling,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Parallel, resumable reproduction of the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute one table/figure/ablation sweep")
+    what = run.add_mutually_exclusive_group(required=True)
+    what.add_argument("--table", type=int, choices=sorted(_TABLES), help="paper table number")
+    what.add_argument("--figure", type=int, choices=sorted(_FIGURES), help="paper figure number")
+    what.add_argument("--ablation", choices=sorted(_ABLATIONS), help="ablation name")
+    run.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    run.add_argument("--store", default=None, metavar="DIR", help="run store directory (resumable)")
+    scale = run.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--smoke", action="store_true", help="tiny smoke-test grid (seconds, not minutes)"
+    )
+    scale.add_argument(
+        "--paper", action="store_true", help="full paper-scale grid (hours of compute)"
+    )
+    run.add_argument("--datasets", default=None, help="comma-separated dataset names")
+    run.add_argument("--repeats", type=int, default=None, help="repetitions per cell")
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument("--epochs", type=int, default=None, help="training epochs per run")
+    run.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated sweep values for the chosen table (numbers)",
+    )
+    sub.add_parser("list", help="print available sweeps and datasets")
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    if args.smoke:
+        settings = ExperimentSettings.smoke_test()
+    elif args.paper:
+        settings = ExperimentSettings.paper_scale()
+    else:
+        settings = ExperimentSettings()
+    if args.datasets:
+        settings = settings.with_updates(
+            datasets=tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+        )
+    if args.repeats is not None:
+        settings = settings.with_updates(repeats=args.repeats)
+    if args.seed is not None:
+        settings = settings.with_updates(seed=args.seed)
+    if args.epochs is not None:
+        settings = settings.with_updates(
+            training=settings.training.with_updates(epochs=args.epochs)
+        )
+    return settings
+
+
+def _parse_values(raw: str) -> tuple:
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        number = float(token)
+        values.append(int(number) if number.is_integer() else number)
+    return tuple(values)
+
+
+def _run(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    kwargs: dict = {"settings": settings, "workers": args.workers, "store": args.store}
+    if args.table is not None:
+        sweep, values_kwarg, smoke_values = _TABLES[args.table]
+        if args.values:
+            kwargs[values_kwarg] = _parse_values(args.values)
+        elif args.smoke:
+            kwargs[values_kwarg] = smoke_values
+        label = f"table {args.table}"
+    elif args.figure is not None:
+        sweep = _FIGURES[args.figure]
+        label = f"figure {args.figure}"
+    else:
+        sweep = _ABLATIONS[args.ablation]
+        label = f"ablation {args.ablation}"
+
+    print(f"running {label}: datasets={','.join(settings.datasets)} "
+          f"repeats={settings.repeats} workers={args.workers} "
+          f"store={args.store or '(none)'}", flush=True)
+    table = sweep(**kwargs)
+    print(table.to_text())
+    if table.run_report is not None:
+        print(table.run_report.summary())
+    return 0
+
+
+def _list() -> int:
+    print("tables:    " + ", ".join(str(n) for n in sorted(_TABLES)))
+    print("figures:   " + ", ".join(str(n) for n in sorted(_FIGURES)))
+    print("ablations: " + ", ".join(sorted(_ABLATIONS)))
+    print("datasets:  " + ", ".join(available_datasets()))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _list()
+    if args.values and args.table is None:
+        parser.error("--values only applies to --table sweeps")
+    return _run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,18 +12,35 @@ the scaled-down experiments (they are discussed in EXPERIMENTS.md):
 
 Each ablation trains the affected variants side by side on the same graphs
 and reports StrucEqu, so the impact of the choice is measurable rather than
-asserted.
+asserted.  Like the table/figure sweeps, the grids expand into
+:class:`RunSpec` cells (kinds ``ablation_private`` and
+``ablation_negative_sampling``) and delegate to the orchestrator, so they
+parallelise and resume the same way.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
 from ..evaluation import structural_equivalence_score
 from ..embedding import SEGEmbTrainer, SEPrivGEmbTrainer
-from ..graph import load_dataset
-from ..proximity import DeepWalkProximity
+from ..proximity import DeepWalkProximity, compute_proximity
+from ..utils.rng import repeat_streams
 from ..utils.stats import summarize_runs
 from .configs import ExperimentSettings
+from .orchestrator import (
+    RunSpec,
+    cell_seed_sequence,
+    dataset_graph,
+    evaluation_seed_sequence,
+    execute,
+    specs_for_settings,
+)
 from .results import ResultTable
+from .store import RunStore
 
 __all__ = [
     "ablation_iterate_averaging",
@@ -32,92 +49,160 @@ __all__ = [
 ]
 
 
-def _repeat_private(graph, settings, repeats, **trainer_kwargs):
-    """Train SE-PrivGEmb ``repeats`` times and summarise its StrucEqu."""
+# --------------------------------------------------------------------- #
+# cell runners (dispatched by the orchestrator's kind registry)
+# --------------------------------------------------------------------- #
+def _run_ablation_cell(spec: RunSpec, make_trainer) -> dict[str, Any]:
+    """Shared cell loop: repeated trainer runs scored on one fixed pair sample.
+
+    ``make_trainer(graph, proximity, rng)`` builds the trainer variant under
+    study; everything else — graph/proximity resolution, per-repeat spawned
+    training streams, the evaluation stream shared across the cells of one
+    graph (common random numbers) — is identical for every ablation kind.
+    """
+    graph = dataset_graph(spec)
+    proximity = compute_proximity(DeepWalkProximity(window_size=spec.deepwalk_window), graph)
+    train_streams, _ = repeat_streams(cell_seed_sequence(spec), spec.repeats)
+    eval_stream = evaluation_seed_sequence(spec)
     scores = []
-    for repeat in range(repeats):
-        trainer = SEPrivGEmbTrainer(
+    for train_stream in train_streams:
+        trainer = make_trainer(graph, proximity, np.random.default_rng(train_stream))
+        result = trainer.train()
+        scores.append(
+            structural_equivalence_score(
+                graph, result.embeddings, seed=np.random.default_rng(eval_stream)
+            )
+        )
+    summary = summarize_runs(scores)
+    return {
+        "metric": spec.metric,
+        "mean": float(summary.mean),
+        "std": float(summary.std),
+        "repeats": spec.repeats,
+    }
+
+
+def run_private_cell(spec: RunSpec) -> dict[str, Any]:
+    """One ``ablation_private`` cell: repeated SE-PrivGEmb runs, StrucEqu summary.
+
+    ``spec.options`` carries the trainer keyword overrides under study
+    (``iterate_averaging`` / ``gradient_normalization``).
+    """
+    trainer_kwargs = dict(spec.options)
+
+    def make_trainer(graph, proximity, rng):
+        return SEPrivGEmbTrainer(
             graph,
-            DeepWalkProximity(window_size=5),
-            training_config=settings.training,
-            privacy_config=settings.privacy,
-            seed=settings.seed + repeat,
+            proximity,
+            training_config=spec.training,
+            privacy_config=spec.privacy,
+            seed=rng,
             **trainer_kwargs,
         )
-        result = trainer.train()
-        scores.append(structural_equivalence_score(graph, result.embeddings, seed=repeat))
-    return summarize_runs(scores)
+
+    return _run_ablation_cell(spec, make_trainer)
 
 
-def ablation_iterate_averaging(settings: ExperimentSettings | None = None) -> ResultTable:
+def run_negative_sampling_cell(spec: RunSpec) -> dict[str, Any]:
+    """One ``ablation_negative_sampling`` cell: non-private SE-GEmb runs."""
+    sampling = str(spec.option("negative_sampling", "proximity"))
+
+    def make_trainer(graph, proximity, rng):
+        return SEGEmbTrainer(
+            graph, proximity, config=spec.training, negative_sampling=sampling, seed=rng
+        )
+
+    return _run_ablation_cell(spec, make_trainer)
+
+
+# --------------------------------------------------------------------- #
+# sweeps
+# --------------------------------------------------------------------- #
+def _ablation_sweep(
+    settings: ExperimentSettings,
+    title: str,
+    kind: str,
+    method: str,
+    axis_name: str,
+    axis_values: tuple,
+    workers: int,
+    store: RunStore | str | Path | None,
+) -> ResultTable:
+    specs, rows = [], []
+    for dataset_name in settings.datasets:
+        for value in axis_values:
+            specs.append(
+                specs_for_settings(
+                    kind,
+                    method,
+                    dataset_name,
+                    settings,
+                    options={axis_name: value},
+                )
+            )
+            rows.append({"dataset": dataset_name, axis_name: value})
+    report = execute(specs, workers=workers, store=store)
+    table = ResultTable(title)
+    for row, result in zip(rows, report.results):
+        table.add_row(
+            {**row, "strucequ_mean": result["mean"], "strucequ_std": result["std"]}
+        )
+    table.run_report = report
+    return table
+
+
+def ablation_iterate_averaging(
+    settings: ExperimentSettings | None = None,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
+) -> ResultTable:
     """Compare averaged-iterate output against the last iterate (Algorithm 2 literal)."""
     settings = settings or ExperimentSettings()
-    table = ResultTable("Ablation: iterate averaging of the private embeddings")
-    for dataset_name in settings.datasets:
-        graph = load_dataset(dataset_name, scale=settings.dataset_scale, seed=settings.seed)
-        for averaging in (True, False):
-            summary = _repeat_private(
-                graph, settings, settings.repeats, iterate_averaging=averaging
-            )
-            table.add_row(
-                {
-                    "dataset": dataset_name,
-                    "iterate_averaging": averaging,
-                    "strucequ_mean": summary.mean,
-                    "strucequ_std": summary.std,
-                }
-            )
-    return table
+    return _ablation_sweep(
+        settings,
+        "Ablation: iterate averaging of the private embeddings",
+        "ablation_private",
+        "se_privgemb_dw",
+        "iterate_averaging",
+        (True, False),
+        workers,
+        store,
+    )
 
 
-def ablation_gradient_normalization(settings: ExperimentSettings | None = None) -> ResultTable:
+def ablation_gradient_normalization(
+    settings: ExperimentSettings | None = None,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
+) -> ResultTable:
     """Compare per-row normalisation against the literal Eq. (9) batch averaging."""
     settings = settings or ExperimentSettings()
-    table = ResultTable("Ablation: gradient normalisation (per_row vs batch)")
-    for dataset_name in settings.datasets:
-        graph = load_dataset(dataset_name, scale=settings.dataset_scale, seed=settings.seed)
-        for normalization in ("per_row", "batch"):
-            summary = _repeat_private(
-                graph, settings, settings.repeats, gradient_normalization=normalization
-            )
-            table.add_row(
-                {
-                    "dataset": dataset_name,
-                    "gradient_normalization": normalization,
-                    "strucequ_mean": summary.mean,
-                    "strucequ_std": summary.std,
-                }
-            )
-    return table
+    return _ablation_sweep(
+        settings,
+        "Ablation: gradient normalisation (per_row vs batch)",
+        "ablation_private",
+        "se_privgemb_dw",
+        "gradient_normalization",
+        ("per_row", "batch"),
+        workers,
+        store,
+    )
 
 
-def ablation_negative_sampling(settings: ExperimentSettings | None = None) -> ResultTable:
+def ablation_negative_sampling(
+    settings: ExperimentSettings | None = None,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
+) -> ResultTable:
     """Compare the Theorem-3 sampler against the unigram sampler (non-private SE-GEmb)."""
     settings = settings or ExperimentSettings()
-    table = ResultTable("Ablation: Theorem-3 vs unigram negative sampling (SE-GEmb)")
-    for dataset_name in settings.datasets:
-        graph = load_dataset(dataset_name, scale=settings.dataset_scale, seed=settings.seed)
-        for sampling in ("proximity", "unigram"):
-            scores = []
-            for repeat in range(settings.repeats):
-                trainer = SEGEmbTrainer(
-                    graph,
-                    DeepWalkProximity(window_size=5),
-                    config=settings.training,
-                    negative_sampling=sampling,
-                    seed=settings.seed + repeat,
-                )
-                result = trainer.train()
-                scores.append(
-                    structural_equivalence_score(graph, result.embeddings, seed=repeat)
-                )
-            summary = summarize_runs(scores)
-            table.add_row(
-                {
-                    "dataset": dataset_name,
-                    "negative_sampling": sampling,
-                    "strucequ_mean": summary.mean,
-                    "strucequ_std": summary.std,
-                }
-            )
-    return table
+    return _ablation_sweep(
+        settings,
+        "Ablation: Theorem-3 vs unigram negative sampling (SE-GEmb)",
+        "ablation_negative_sampling",
+        "se_gemb_dw",
+        "negative_sampling",
+        ("proximity", "unigram"),
+        workers,
+        store,
+    )

@@ -50,7 +50,11 @@ class ExperimentSettings:
     epsilons:
         Privacy budgets for the figure sweeps.
     seed:
-        Master seed; repetition ``i`` uses ``seed + i``.
+        Master seed.  Every sweep cell derives its own namespaced random
+        streams from it via ``numpy.random.SeedSequence`` (see
+        :func:`repro.utils.rng.repeat_streams` and
+        :func:`repro.experiments.orchestrator.cell_seed_sequence`);
+        repetitions are spawned children, never ``seed + i``.
     """
 
     datasets: tuple[str, ...] = ("chameleon", "power", "arxiv")

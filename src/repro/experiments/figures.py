@@ -4,20 +4,24 @@ Figure 3 sweeps ε over all eight methods and reports StrucEqu per dataset;
 Figure 4 does the same with link-prediction AUC.  The functions return
 :class:`ResultTable` objects with one row per (dataset, method, ε) — the
 series the paper plots.
+
+Both sweeps expand into :class:`RunSpec` cells and delegate to the
+orchestrator: non-private methods do not depend on ε, so they are a single
+cell whose result is replicated across the budget grid (the flat lines in
+the figures), while each private (method, dataset, ε) triple is its own
+cell.  ``workers`` and ``store`` behave as in :mod:`repro.experiments.tables`.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
-from ..graph import load_dataset
 from .configs import ExperimentSettings, PAPER_METHODS
+from .orchestrator import execute, specs_for_settings
 from .results import ResultTable
-from .runner import (
-    evaluate_link_prediction,
-    evaluate_structural_equivalence,
-    is_private_method,
-)
+from .runner import is_private_method
+from .store import RunStore
 
 __all__ = ["figure_structural_equivalence", "figure_link_prediction"]
 
@@ -27,81 +31,86 @@ def _figure_sweep(
     methods: Sequence[str],
     title: str,
     metric_name: str,
-    evaluate,
+    kind: str,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
 ) -> ResultTable:
-    table = ResultTable(title)
+    specs = []
+    # per spec: (dataset, method, epsilons the result is replicated over)
+    placements: list[tuple[str, str, tuple[float, ...]]] = []
     for dataset_name in settings.datasets:
-        graph = load_dataset(dataset_name, scale=settings.dataset_scale, seed=settings.seed)
         for method in methods:
-            # Non-private methods do not depend on ε; evaluate them once and
-            # replicate the value across the sweep (flat lines in the figure).
             if not is_private_method(method):
-                mean, std = evaluate(
-                    method, graph, settings.training, settings.privacy, settings
-                )
-                for epsilon in settings.epsilons:
-                    table.add_row(
-                        {
-                            "dataset": dataset_name,
-                            "method": method,
-                            "epsilon": float(epsilon),
-                            f"{metric_name}_mean": mean,
-                            f"{metric_name}_std": std,
-                        }
+                # one cell, replicated across the sweep (flat figure line)
+                specs.append(
+                    specs_for_settings(
+                        kind, method, dataset_name, settings, metric=metric_name
                     )
+                )
+                placements.append((dataset_name, method, tuple(settings.epsilons)))
                 continue
             for epsilon in settings.epsilons:
-                privacy = settings.privacy.with_epsilon(float(epsilon))
-                mean, std = evaluate(method, graph, settings.training, privacy, settings)
-                table.add_row(
-                    {
-                        "dataset": dataset_name,
-                        "method": method,
-                        "epsilon": float(epsilon),
-                        f"{metric_name}_mean": mean,
-                        f"{metric_name}_std": std,
-                    }
+                specs.append(
+                    specs_for_settings(
+                        kind,
+                        method,
+                        dataset_name,
+                        settings,
+                        privacy=settings.privacy.with_epsilon(float(epsilon)),
+                        metric=metric_name,
+                    )
                 )
+                placements.append((dataset_name, method, (float(epsilon),)))
+    report = execute(specs, workers=workers, store=store)
+    table = ResultTable(title)
+    for (dataset_name, method, epsilons), result in zip(placements, report.results):
+        for epsilon in epsilons:
+            table.add_row(
+                {
+                    "dataset": dataset_name,
+                    "method": method,
+                    "epsilon": float(epsilon),
+                    f"{metric_name}_mean": result["mean"],
+                    f"{metric_name}_std": result["std"],
+                }
+            )
+    table.run_report = report
     return table
 
 
 def figure_structural_equivalence(
     settings: ExperimentSettings | None = None,
     methods: Sequence[str] = PAPER_METHODS,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
 ) -> ResultTable:
     """Figure 3: StrucEqu versus privacy budget ε for every method and dataset."""
     settings = settings or ExperimentSettings()
-
-    def evaluate(method, graph, training, privacy, s):
-        return evaluate_structural_equivalence(
-            method, graph, training, privacy, repeats=s.repeats, seed=s.seed
-        )
-
     return _figure_sweep(
         settings,
         methods,
         "Figure 3: StrucEqu vs privacy budget",
         "strucequ",
-        evaluate,
+        "strucequ",
+        workers=workers,
+        store=store,
     )
 
 
 def figure_link_prediction(
     settings: ExperimentSettings | None = None,
     methods: Sequence[str] = PAPER_METHODS,
+    workers: int = 1,
+    store: RunStore | str | Path | None = None,
 ) -> ResultTable:
     """Figure 4: link-prediction AUC versus privacy budget ε."""
     settings = settings or ExperimentSettings()
-
-    def evaluate(method, graph, training, privacy, s):
-        return evaluate_link_prediction(
-            method, graph, training, privacy, repeats=s.repeats, seed=s.seed
-        )
-
     return _figure_sweep(
         settings,
         methods,
         "Figure 4: link-prediction AUC vs privacy budget",
         "auc",
-        evaluate,
+        "linkpred",
+        workers=workers,
+        store=store,
     )

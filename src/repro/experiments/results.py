@@ -39,6 +39,9 @@ class ResultTable:
     def __init__(self, title: str, rows: Iterable[Mapping[str, Any]] | None = None) -> None:
         self.title = title
         self._rows: list[dict[str, Any]] = []
+        #: the orchestrator's SweepReport when this table came out of a
+        #: sweep (reused/computed cell counts, wall-clock); None otherwise
+        self.run_report = None
         if rows is not None:
             for row in rows:
                 self.add_row(row)

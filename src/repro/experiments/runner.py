@@ -27,6 +27,7 @@ from ..graph import Graph
 from ..proximity import DeepWalkProximity, DegreeProximity, compute_proximity
 from ..proximity.base import ProximityMatrix
 from ..proximity.cache import ProximityCache
+from ..utils.rng import repeat_streams
 from ..utils.stats import summarize_runs
 
 __all__ = [
@@ -169,10 +170,11 @@ def evaluate_structural_equivalence(
     training: TrainingConfig,
     privacy: PrivacyConfig,
     repeats: int = 3,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     perturbation: str = "nonzero",
     deepwalk_window: int = 5,
     proximity_cache: ProximityCache | None | bool = None,
+    evaluation_seed: int | np.random.SeedSequence | None = None,
 ) -> tuple[float, float]:
     """Mean ± SD StrucEqu of a method over repeated runs on one graph.
 
@@ -180,6 +182,17 @@ def evaluate_structural_equivalence(
     so it is fetched once through the proximity cache and shared across the
     repeats — repeated runs only re-randomise initialisation, sampling and
     noise, and later sweeps over the same graph reuse the cached matrix.
+
+    Repeats are seeded through :func:`repro.utils.rng.repeat_streams`
+    (``SeedSequence.spawn``), so runs of adjacent base seeds never collide
+    the way the old additive ``seed + repeat`` convention did, and the
+    StrucEqu *evaluation* pair sample is held fixed across the repeats —
+    the reported SD measures run-to-run variation, not scoring-sample
+    noise.  ``evaluation_seed`` overrides the spawned evaluation stream:
+    sweeps pass one derived from (base seed, dataset) so *every cell on
+    the same graph* scores on the identical pair sample (common random
+    numbers — cross-cell comparisons are not blurred by sampling noise
+    either).
     """
     key = method.strip().lower()
     proximity = (
@@ -187,20 +200,33 @@ def evaluate_structural_equivalence(
         if key in _SE_METHODS
         else None
     )
+    train_streams, eval_stream = repeat_streams(seed, repeats)
+    if evaluation_seed is not None:
+        eval_stream = (
+            evaluation_seed
+            if isinstance(evaluation_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(evaluation_seed)
+        )
     scores = []
-    for repeat in range(repeats):
+    for train_stream in train_streams:
         embeddings = embed_with_method(
             method,
             graph,
             training,
             privacy,
-            seed=seed + repeat,
+            seed=np.random.default_rng(train_stream),
             perturbation=perturbation,
             proximity=proximity,
             deepwalk_window=deepwalk_window,
             proximity_cache=proximity_cache,
         )
-        scores.append(structural_equivalence_score(graph, embeddings, seed=seed + repeat))
+        # a fresh generator from the *same* stream per repeat: identical
+        # evaluation pair sample every time, by construction
+        scores.append(
+            structural_equivalence_score(
+                graph, embeddings, seed=np.random.default_rng(eval_stream)
+            )
+        )
     summary = summarize_runs(scores)
     return summary.mean, summary.std
 
@@ -211,7 +237,7 @@ def evaluate_link_prediction(
     training: TrainingConfig,
     privacy: PrivacyConfig,
     repeats: int = 3,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     perturbation: str = "nonzero",
     deepwalk_window: int = 5,
     proximity_cache: ProximityCache | None | bool = None,
@@ -219,7 +245,11 @@ def evaluate_link_prediction(
     """Mean ± SD link-prediction AUC of a method over repeated runs on one graph.
 
     Each repetition draws a fresh 90/10 split, trains on the training graph
-    only, and scores the held-out pairs with the dot-product scorer.
+    only, and scores the held-out pairs with the dot-product scorer.  The
+    split and the training run of one repeat use *separate* spawned
+    streams (the old convention reused one integer seed for both, making
+    the split permutation and the weight initialisation draw from
+    identical generators).
 
     Split graphs are throwaway — a new one per repeat — so their proximity
     matrices are computed ephemerally and freed with the repeat rather than
@@ -232,9 +262,11 @@ def evaluate_link_prediction(
     # throwaway split graphs default to the uncached path (False), not the
     # process-wide default cache — an explicit cache is still honoured
     split_cache = proximity_cache if proximity_cache is not None else False
+    train_streams, _ = repeat_streams(seed, repeats)
     scores = []
-    for repeat in range(repeats):
-        split = make_link_prediction_split(graph, seed=seed + repeat)
+    for train_stream in train_streams:
+        split_stream, embed_stream = train_stream.spawn(2)
+        split = make_link_prediction_split(graph, seed=np.random.default_rng(split_stream))
         proximity = None
         if key in _SE_METHODS:
             proximity = _resolve_proximity(
@@ -245,7 +277,7 @@ def evaluate_link_prediction(
             split.training_graph,
             training,
             privacy,
-            seed=seed + repeat,
+            seed=np.random.default_rng(embed_stream),
             perturbation=perturbation,
             proximity=proximity,
             deepwalk_window=deepwalk_window,

@@ -1,0 +1,223 @@
+"""Content-addressed on-disk store of completed experiment cells.
+
+The orchestrator (:mod:`repro.experiments.orchestrator`) expands every
+table/figure/ablation sweep into independent cells, each identified by a
+content fingerprint over everything that determines its result: the kind of
+evaluation, the method, the dataset's content hash, the full training and
+privacy configuration, the repeat count and the seed.  :class:`RunStore`
+memoizes the finished cells behind that fingerprint, mirroring the hashing
+discipline of :mod:`repro.proximity.cache`:
+
+* one **atomic JSON file per cell** (temp file + ``os.replace``), so a
+  killed sweep never leaves a half-written result and concurrent workers
+  can publish into the same directory without coordination;
+* a **memory tier** for the hot loop of one process, backed by the
+  optional directory tier for cross-invocation resume;
+* **corruption tolerance** — an unreadable or foreign payload degrades to
+  a cache miss (and is dropped, best effort) instead of killing the sweep.
+
+A killed sweep resumed against the same store therefore recomputes zero
+completed cells: the orchestrator checks the store before dispatching and
+re-renders tables directly from the stored results.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..exceptions import OrchestrationError
+from ..utils.fileio import atomic_write_path, tmp_file_pattern
+from ..utils.logging import get_logger
+
+__all__ = ["RunStore"]
+
+_LOGGER = get_logger("experiments.store")
+
+#: the store's own file naming: <64-hex cell fingerprint>.json
+_STORE_FILE_PATTERN = re.compile(r"[0-9a-f]{64}\.json")
+#: in-flight temp files left behind by writers that died before the rename
+_TMP_FILE_PATTERN = tmp_file_pattern(r"[0-9a-f]{64}", ".json")
+
+#: payload schema version; a bumped format simply misses the old files
+_PAYLOAD_VERSION = 1
+
+
+class RunStore:
+    """Two-tier (memory + optional disk) store of finished experiment cells.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory for the on-disk tier.  Created on first store;
+        ``None`` keeps the store purely in-memory (still useful for reuse
+        inside one process, e.g. re-rendering several tables from one
+        sweep).
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the stored result for a cell fingerprint, or ``None``."""
+        key = _check_key(key)
+        if key in self._memory:
+            self.hits += 1
+            return dict(self._memory[key])
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            result = self._load(path, key)
+            if result is not None:
+                self._memory[key] = result
+                self.hits += 1
+                return dict(result)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: Mapping[str, Any], spec: Mapping[str, Any] | None = None) -> None:
+        """Store one finished cell (memory + atomic disk write).
+
+        ``spec`` is an optional human-readable description of the cell,
+        written alongside the result for debuggability; it is never read
+        back into the result.
+        """
+        key = _check_key(key)
+        self._memory[key] = dict(result)
+        path = self._disk_path(key)
+        if path is not None:
+            payload = {
+                "version": _PAYLOAD_VERSION,
+                "key": key,
+                "result": dict(result),
+            }
+            if spec is not None:
+                payload["spec"] = dict(spec)
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                _atomic_write_json(path, payload)
+            except (OSError, TypeError, ValueError) as exc:
+                # full/read-only volume or unserialisable extras: the disk
+                # tier is best effort — the memory tier already has it
+                _LOGGER.warning("run store disk write failed for %s: %s", path, exc)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        """True only if :meth:`get` would return a result.
+
+        A disk entry is *validated* (and pulled into the memory tier), not
+        just stat-ed — a corrupt or foreign file must not make containment
+        and retrieval disagree.
+        """
+        key = _check_key(key)
+        if key in self._memory:
+            return True
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return False
+        result = self._load(path, key)
+        if result is None:
+            return False
+        self._memory[key] = result
+        return True
+
+    # ------------------------------------------------------------------ #
+    # maintenance / introspection
+    # ------------------------------------------------------------------ #
+    def keys(self) -> set[str]:
+        """Fingerprints of every stored cell (memory plus disk)."""
+        known = set(self._memory)
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                if _STORE_FILE_PATTERN.fullmatch(path.name):
+                    known.add(path.stem)
+        return known
+
+    def clear(self) -> None:
+        """Empty both tiers and reset the statistics.
+
+        Only files matching this store's own ``<fingerprint>.json`` naming
+        (and its orphaned temp files) are removed — a directory shared with
+        other artifacts is left alone.
+        """
+        self._memory.clear()
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                if _STORE_FILE_PATTERN.fullmatch(path.name) or _TMP_FILE_PATTERN.fullmatch(
+                    path.name
+                ):
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:  # concurrent clear won
+                        pass
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.keys()))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunStore(items={len(self)}, hits={self.hits}, misses={self.misses}, "
+            f"directory={str(self.directory) if self.directory else None!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _load(self, path: Path, key: str) -> dict[str, Any] | None:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != _PAYLOAD_VERSION
+                or payload.get("key") != key
+                or not isinstance(payload.get("result"), dict)
+            ):
+                raise ValueError("foreign or incompatible run store payload")
+        except FileNotFoundError:
+            # another process cleared between the existence check and the
+            # read — a plain miss
+            return None
+        except (OSError, ValueError):
+            # corrupt/foreign payload: drop it (best effort) and recompute
+            # the cell rather than killing the sweep
+            _LOGGER.warning("dropping unreadable run store entry %s", path)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return dict(payload["result"])
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not re.fullmatch(r"[0-9a-f]{64}", key):
+        raise OrchestrationError(
+            f"run store keys are 64-hex cell fingerprints, got {key!r}"
+        )
+    return key
+
+
+def _atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    with atomic_write_path(path) as tmp_path:
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)

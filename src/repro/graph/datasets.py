@@ -8,7 +8,9 @@ power-law biological network, quasi-planar grid, collaboration network,
 dense social network, large sparse scholarly network), scaled down so the
 full experiment grid runs on a laptop.
 
-The substitution is documented in ``DESIGN.md``.  Every generator keeps the
+The substitution is documented in ``DESIGN.md`` at the repository root
+(which also describes the experiment orchestration that consumes these
+graphs).  Every generator keeps the
 *relative* density ordering of the originals (BlogCatalog densest, Power and
 DBLP sparsest), which is what drives the qualitative behaviour of the
 methods being compared.

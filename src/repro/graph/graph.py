@@ -277,35 +277,99 @@ class Graph:
     ) -> np.ndarray:
         """Sample ``count`` distinct node pairs that are *not* edges.
 
-        Used to build negative examples for link prediction.  Raises
-        :class:`GraphError` if the graph is too dense to find enough
-        non-edges within a bounded number of attempts.
+        Used to build negative examples for link prediction.  Pairs come
+        back **in draw order** (each row canonicalised to ``u < v``) — a
+        consumer slicing a prefix gets an unbiased subsample, which the
+        old ``sorted(found)`` return silently violated (prefixes were
+        biased toward low node indices).
+
+        Sampling is vectorised rejection: bulk uniform draws filtered
+        through :meth:`has_edges_bulk`.  When the graph is dense enough
+        that rejection would thrash (or the attempt budget runs out), the
+        exact complement is enumerated and a uniform permutation of it is
+        returned instead, so dense graphs succeed whenever enough
+        non-edges exist at all.  :class:`GraphError` is raised only when
+        the graph genuinely has fewer than ``count`` eligible non-edges.
         """
         if count < 0:
             raise GraphError(f"count must be non-negative, got {count}")
-        exclude_set = set()
+        n = self._num_nodes
+        # degenerate excludes (self-pairs, out-of-range pairs) can never be
+        # drawn: drop them here so they neither reduce the capacity check
+        # nor alias a valid pair in the exact-complement key encoding
+        exclude_set: set[tuple[int, int]] = set()
         if exclude is not None:
             exclude_set = {
-                (min(int(u), int(v)), max(int(u), int(v))) for u, v in exclude
+                key
+                for u, v in exclude
+                for key in ((min(int(u), int(v)), max(int(u), int(v))),)
+                if 0 <= key[0] < key[1] < n
             }
-        found: set[tuple[int, int]] = set()
-        attempts = 0
-        max_attempts = max(1, count) * max_attempts_factor
-        while len(found) < count and attempts < max_attempts:
-            attempts += 1
-            u = int(rng.integers(0, self._num_nodes))
-            v = int(rng.integers(0, self._num_nodes))
-            if u == v:
-                continue
-            key = (min(u, v), max(u, v))
-            if key in self._edge_lookup or key in exclude_set or key in found:
-                continue
-            found.add(key)
-        if len(found) < count:
+        total_pairs = n * (n - 1) // 2
+        # excludes that are already edges cannot be drawn either
+        excluded_non_edges = sum(1 for key in exclude_set if key not in self._edge_lookup)
+        available = total_pairs - self.num_edges - excluded_non_edges
+        if available < count:
             raise GraphError(
-                f"could only sample {len(found)} non-edges out of {count} requested"
+                f"graph {self._name!r} has only {available} eligible non-edges, "
+                f"{count} requested"
             )
-        return np.array(sorted(found), dtype=np.int64).reshape(-1, 2)
+        if count == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        # dense regime: most draws would hit edges — enumerate exactly
+        if self.density >= 0.5 or available <= 4 * count:
+            return self._non_edges_exact(count, rng, exclude_set)
+
+        found: list[tuple[int, int]] = []
+        found_keys: set[tuple[int, int]] = set()
+        attempts = 0
+        max_attempts = max(1, count) * max(1, max_attempts_factor)
+        while len(found) < count and attempts < max_attempts:
+            batch = min(max_attempts - attempts, max(256, 2 * (count - len(found))))
+            u = rng.integers(0, n, size=batch)
+            v = rng.integers(0, n, size=batch)
+            attempts += batch
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            keep = (lo != hi) & ~self.has_edges_bulk(lo, hi)
+            for a, b in zip(lo[keep].tolist(), hi[keep].tolist()):
+                key = (a, b)
+                if key in exclude_set or key in found_keys:
+                    continue
+                found_keys.add(key)
+                found.append(key)
+                if len(found) == count:
+                    break
+        if len(found) < count:
+            # the budget ran out but enough non-edges exist (checked above):
+            # fall back to the exact complement instead of spuriously failing
+            return self._non_edges_exact(count, rng, exclude_set)
+        return np.array(found, dtype=np.int64).reshape(-1, 2)
+
+    def _non_edges_exact(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        exclude_set: set[tuple[int, int]],
+    ) -> np.ndarray:
+        """Uniform sample of the explicitly enumerated non-edge complement."""
+        n = self._num_nodes
+        iu, ju = np.triu_indices(n, k=1)
+        adjacency = self.adjacency_matrix()
+        keep = np.asarray(adjacency[iu, ju]).ravel() == 0
+        if exclude_set:
+            excluded = np.fromiter(
+                (a * n + b for a, b in exclude_set), dtype=np.int64, count=len(exclude_set)
+            )
+            keep &= ~np.isin(iu * np.int64(n) + ju, excluded)
+        candidates = np.stack([iu[keep], ju[keep]], axis=1).astype(np.int64)
+        if candidates.shape[0] < count:  # pragma: no cover - guarded by caller
+            raise GraphError(
+                f"graph {self._name!r} has only {candidates.shape[0]} eligible "
+                f"non-edges, {count} requested"
+            )
+        order = rng.permutation(candidates.shape[0])[:count]
+        return candidates[order]
 
     # ------------------------------------------------------------------ #
     # dunder methods

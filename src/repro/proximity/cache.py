@@ -23,13 +23,11 @@ experiment invocations).  Disk writes are atomic (tmp file + rename).
 from __future__ import annotations
 
 import hashlib
-import os
 import re
 import time
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
-from uuid import uuid4
 
 import numpy as np
 from scipy import sparse as _sp
@@ -37,6 +35,7 @@ from scipy import sparse as _sp
 from ..exceptions import ProximityError
 from ..graph import Graph
 from ..graph.graph import graph_content_fingerprint
+from ..utils.fileio import atomic_write_path, tmp_file_pattern
 from ..utils.logging import get_logger
 from .base import ProximityMatrix, ProximityMeasure
 
@@ -48,7 +47,7 @@ _LOGGER = get_logger("proximity.cache")
 _CACHE_FILE_PATTERN = re.compile(r"[0-9a-f]{32}-[0-9a-f]{32}\.npz")
 #: in-flight temp files (.<stem>.<pid>-<hex>.npz) left behind by writers
 #: that died between savez and the atomic rename
-_TMP_FILE_PATTERN = re.compile(r"\.[0-9a-f]{32}-[0-9a-f]{32}\.\d+-[0-9a-f]{8}\.npz")
+_TMP_FILE_PATTERN = tmp_file_pattern(r"[0-9a-f]{32}-[0-9a-f]{32}", ".npz")
 #: a temp file younger than this may belong to a live concurrent writer
 #: (stores take seconds); only older orphans are reaped by clear()
 _TMP_REAP_AGE_SECONDS = 3600.0
@@ -288,23 +287,22 @@ class ProximityCache:
 # serialization
 # ---------------------------------------------------------------------- #
 def _save_proximity(path: Path, matrix: ProximityMatrix) -> None:
-    # per-process unique temp name: concurrent writers of the same key must
-    # not interleave into one file; os.replace then publishes atomically
-    tmp_path = path.with_name(f".{path.stem}.{os.getpid()}-{uuid4().hex[:8]}.npz")
-    if matrix.is_sparse:
-        csr = matrix.sparse_matrix
-        np.savez_compressed(
-            tmp_path,
-            kind="sparse",
-            name=matrix.name,
-            data=csr.data,
-            indices=csr.indices,
-            indptr=csr.indptr,
-            shape=np.asarray(csr.shape, dtype=np.int64),
-        )
-    else:
-        np.savez_compressed(tmp_path, kind="dense", name=matrix.name, matrix=matrix.matrix)
-    os.replace(tmp_path, path)
+    # concurrent writers of the same key must not interleave into one file;
+    # the shared helper writes a unique temp and publishes atomically
+    with atomic_write_path(path) as tmp_path:
+        if matrix.is_sparse:
+            csr = matrix.sparse_matrix
+            np.savez_compressed(
+                tmp_path,
+                kind="sparse",
+                name=matrix.name,
+                data=csr.data,
+                indices=csr.indices,
+                indptr=csr.indptr,
+                shape=np.asarray(csr.shape, dtype=np.int64),
+            )
+        else:
+            np.savez_compressed(tmp_path, kind="dense", name=matrix.name, matrix=matrix.matrix)
 
 
 def _load_proximity(path: Path) -> ProximityMatrix:

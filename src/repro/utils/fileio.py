@@ -1,0 +1,51 @@
+"""Atomic file publication shared by the on-disk cache/store tiers.
+
+Both the proximity cache (``.npz`` tier) and the experiment run store
+(``.json`` tier) publish finished artifacts with the same discipline: write
+to a per-process unique dot-prefixed temp sibling, then ``os.replace`` it
+onto the final name.  Concurrent writers of the same key never interleave
+into one file, and readers only ever see complete payloads.  This module
+is the single definition of that discipline (temp naming, rename publish,
+cleanup of a failed write) so the two tiers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+from uuid import uuid4
+
+__all__ = ["atomic_write_path", "tmp_file_pattern"]
+
+
+@contextmanager
+def atomic_write_path(path: Path) -> Iterator[Path]:
+    """Yield a temp sibling of ``path``; publish it atomically on success.
+
+    The temp name is ``.<stem>.<pid>-<8 hex><suffix>`` — unique per writer,
+    matched by :func:`tmp_file_pattern` so orphan reapers can find crashed
+    writers' leftovers.  If the body raises, the temp file is removed (best
+    effort) and nothing is published.
+    """
+    tmp_path = path.with_name(f".{path.stem}.{os.getpid()}-{uuid4().hex[:8]}{path.suffix}")
+    try:
+        yield tmp_path
+    except BaseException:
+        try:
+            tmp_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp_path, path)
+
+
+def tmp_file_pattern(stem_regex: str, suffix: str) -> re.Pattern[str]:
+    """Regex matching :func:`atomic_write_path` temp names for a file family.
+
+    ``stem_regex`` describes the *final* file's stem (e.g. the cache-key
+    hex pattern); ``suffix`` is the literal extension including the dot.
+    """
+    return re.compile(rf"\.{stem_regex}\.\d+-[0-9a-f]{{8}}{re.escape(suffix)}")

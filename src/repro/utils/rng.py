@@ -10,21 +10,56 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "repeat_streams"]
 
 
-def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def ensure_rng(
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for the given seed-like value.
 
     Parameters
     ----------
     seed:
-        ``None`` for a non-deterministic generator, an ``int`` seed, or an
-        existing ``Generator`` (returned unchanged).
+        ``None`` for a non-deterministic generator, an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged).
     """
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def repeat_streams(
+    seed: int | np.random.SeedSequence | np.random.Generator | None,
+    repeats: int,
+) -> tuple[list[np.random.SeedSequence], np.random.SeedSequence]:
+    """Split a seed into per-repeat training streams plus one evaluation stream.
+
+    Repeated experiment runs must be mutually independent *and* must not
+    collide with the repeats of a neighbouring base seed — the additive
+    ``seed + repeat`` convention makes ``(seed=0, repeat=1)`` identical to
+    ``(seed=1, repeat=0)``, silently correlating runs that are reported as
+    independent.  :meth:`numpy.random.SeedSequence.spawn` namespaces the
+    streams instead: children of different parents never coincide.
+
+    Returns ``(training_streams, evaluation_stream)``: one child sequence
+    per repeat for the stochastic run itself, plus a single extra child for
+    the *evaluation* randomness (e.g. the StrucEqu pair sample), which must
+    stay fixed across repeats so the reported SD reflects run-to-run
+    variation rather than scoring-sample noise.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if isinstance(seed, np.random.SeedSequence):
+        base = seed
+    elif isinstance(seed, np.random.Generator):
+        # derive entropy from the generator so callers may pass one through
+        base = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        base = np.random.SeedSequence(seed)
+    children = base.spawn(repeats + 1)
+    return children[:repeats], children[repeats]
 
 
 def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -105,6 +107,39 @@ class TestLinkPredictionSplit:
         tiny = Graph(4, [(0, 1), (1, 2)])
         with pytest.raises(EvaluationError):
             make_link_prediction_split(tiny)
+
+    def test_untrained_endpoint_count_exposed_and_warned(self):
+        # a 20-node ring plus a pendant node whose only edge, once held
+        # out as a test positive, leaves the pendant untrained
+        ring = [(i, (i + 1) % 20) for i in range(20)]
+        lollipop = Graph(21, ring + [(0, 20)], name="lollipop")
+        saw_isolating, saw_clean = None, None
+        for seed in range(400):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                split = make_link_prediction_split(lollipop, seed=seed)
+            degree_of_pendant = split.training_graph.degree(20)
+            if degree_of_pendant == 0 and saw_isolating is None:
+                saw_isolating = (split, caught)
+            elif degree_of_pendant > 0 and saw_clean is None:
+                saw_clean = (split, caught)
+            if saw_isolating and saw_clean:
+                break
+        assert saw_isolating is not None, "no seed isolated the pendant node"
+        assert saw_clean is not None
+        split, caught = saw_isolating
+        assert split.untrained_test_endpoints >= 1
+        assert any(
+            issubclass(w.category, RuntimeWarning) and "no training edges" in str(w.message)
+            for w in caught
+        )
+        clean_split, clean_caught = saw_clean
+        assert clean_split.untrained_test_endpoints == 0
+        assert not any("no training edges" in str(w.message) for w in clean_caught)
+
+    def test_untrained_endpoints_default_zero_on_robust_graph(self, medium_graph):
+        split = make_link_prediction_split(medium_graph, seed=0)
+        assert split.untrained_test_endpoints >= 0
 
 
 class TestScoreEdges:

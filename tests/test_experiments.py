@@ -91,6 +91,146 @@ class TestResultTable:
     def test_empty_table_renders(self):
         assert "(empty)" in ResultTable("empty").to_text()
 
+    def test_rows_of_empty_dicts_render_as_empty(self):
+        # rows exist but no columns were ever seen
+        table = ResultTable("demo", rows=[{}, {}])
+        assert len(table) == 2
+        assert "(empty)" in table.to_text()
+
+    def test_ragged_rows_render_with_blanks(self):
+        table = ResultTable("demo")
+        table.add_row({"a": 1.0})
+        table.add_row({"b": "x"})
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[1].split() == ["a", "b"]
+        # each body line has both cells (one blank-padded)
+        assert "1.0000" in text and "x" in text
+
+    def test_filter_with_float_criteria(self):
+        table = ResultTable("demo")
+        table.add_row({"epsilon": 0.5, "score": 0.1})
+        table.add_row({"epsilon": 3.5, "score": 0.9})
+        table.add_row({"epsilon": 3.5, "score": 0.7})
+        assert len(table.filter(epsilon=3.5)) == 2
+        assert len(table.filter(epsilon=0.5, score=0.1)) == 1
+        assert len(table.filter(epsilon=1.0)) == 0
+
+    def test_filter_missing_column_matches_nothing(self):
+        table = ResultTable("demo", rows=[{"a": 1}])
+        assert len(table.filter(b=1)) == 0
+
+    def test_filter_preserves_title_and_copies_rows(self):
+        table = ResultTable("demo", rows=[{"a": 1}])
+        filtered = table.filter(a=1)
+        assert filtered.title == "demo"
+        filtered.rows[0]["a"] = 2
+        assert table.rows[0]["a"] == 1
+
+    def test_best_row_with_float_metric_and_ties(self):
+        table = ResultTable("demo")
+        table.add_row({"m": "first", "score": 0.7})
+        table.add_row({"m": "second", "score": 0.7})
+        table.add_row({"m": "third", "score": 0.3})
+        assert table.best_row("score")["m"] == "first"  # stable for ties
+        assert table.best_row("score", maximize=False)["m"] == "third"
+
+    def test_best_row_ignores_rows_missing_the_metric(self):
+        table = ResultTable("demo", rows=[{"other": 1}, {"score": 0.2}])
+        assert table.best_row("score")["score"] == 0.2
+
+    def test_best_row_on_empty_table_raises(self):
+        with pytest.raises(KeyError):
+            ResultTable("demo").best_row("score")
+
+    def test_to_text_float_format_override(self):
+        table = ResultTable("demo", rows=[{"v": 0.123456}])
+        assert "0.12" in table.to_text(float_format="{:.2f}")
+        assert "0.123456" not in table.to_text(float_format="{:.2f}")
+
+
+class TestRepeatSeeding:
+    """Pin the SeedSequence-based repeat seeding of the evaluation helpers."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("smallworld", num_nodes=60, seed=2)
+
+    def _capture_strucequ(self, monkeypatch, graph, seed, repeats):
+        from repro.experiments import runner as runner_module
+
+        train_draws, eval_draws = [], []
+
+        def fake_embed(method, graph, training, privacy, seed=None, **kwargs):
+            train_draws.append(int(seed.integers(0, 2**62)))
+            return np.zeros((graph.num_nodes, 4))
+
+        def fake_score(graph, embeddings, seed=None):
+            eval_draws.append(int(seed.integers(0, 2**62)))
+            return 0.5
+
+        monkeypatch.setattr(runner_module, "embed_with_method", fake_embed)
+        monkeypatch.setattr(runner_module, "structural_equivalence_score", fake_score)
+        evaluate_structural_equivalence(
+            "gap", graph, FAST_TRAINING, FAST_PRIVACY, repeats=repeats, seed=seed
+        )
+        return train_draws, eval_draws
+
+    def test_adjacent_base_seeds_do_not_collide(self, monkeypatch, graph):
+        # the old seed+repeat convention made (seed=0, repeat=1) identical
+        # to (seed=1, repeat=0); spawned streams must all be distinct
+        draws_0, _ = self._capture_strucequ(monkeypatch, graph, seed=0, repeats=3)
+        draws_1, _ = self._capture_strucequ(monkeypatch, graph, seed=1, repeats=3)
+        assert len(set(draws_0) | set(draws_1)) == 6
+
+    def test_evaluation_sample_fixed_across_repeats(self, monkeypatch, graph):
+        _, eval_draws = self._capture_strucequ(monkeypatch, graph, seed=7, repeats=4)
+        assert len(eval_draws) == 4
+        assert len(set(eval_draws)) == 1  # same stream, fresh generator each time
+
+    def test_repeats_within_one_cell_are_distinct(self, monkeypatch, graph):
+        draws, _ = self._capture_strucequ(monkeypatch, graph, seed=0, repeats=4)
+        assert len(set(draws)) == 4
+
+    def test_seeding_is_deterministic(self, monkeypatch, graph):
+        a = self._capture_strucequ(monkeypatch, graph, seed=5, repeats=2)
+        b = self._capture_strucequ(monkeypatch, graph, seed=5, repeats=2)
+        assert a == b
+
+    def test_accepts_seed_sequence(self, graph):
+        seq = np.random.SeedSequence(42)
+        mean_a, _ = evaluate_structural_equivalence(
+            "se_privgemb_deg", graph, FAST_TRAINING, FAST_PRIVACY, repeats=1,
+            seed=np.random.SeedSequence(42),
+        )
+        mean_b, _ = evaluate_structural_equivalence(
+            "se_privgemb_deg", graph, FAST_TRAINING, FAST_PRIVACY, repeats=1, seed=seq
+        )
+        assert mean_a == mean_b
+
+    def test_link_prediction_split_and_training_streams_differ(self, monkeypatch, graph):
+        from repro.experiments import runner as runner_module
+
+        split_draws, embed_draws = [], []
+        real_split = runner_module.make_link_prediction_split
+
+        def fake_split(graph, seed=None):
+            split_draws.append(int(seed.integers(0, 2**62)))
+            return real_split(graph, seed=seed)
+
+        def fake_embed(method, graph, training, privacy, seed=None, **kwargs):
+            embed_draws.append(int(seed.integers(0, 2**62)))
+            return np.zeros((graph.num_nodes, 4))
+
+        monkeypatch.setattr(runner_module, "make_link_prediction_split", fake_split)
+        monkeypatch.setattr(runner_module, "embed_with_method", fake_embed)
+        evaluate_link_prediction(
+            "gap", graph, FAST_TRAINING, FAST_PRIVACY, repeats=2, seed=0
+        )
+        # the old convention fed the identical integer seed to both the
+        # split and the trainer; the spawned streams must all differ
+        assert len(set(split_draws) | set(embed_draws)) == 4
+
 
 class TestRunner:
     @pytest.fixture(scope="class")

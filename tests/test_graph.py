@@ -7,6 +7,7 @@ import pytest
 from scipy import sparse
 
 from repro import Graph, GraphError
+from repro.graph import load_dataset
 from repro.graph.validation import validate_simple_graph
 
 
@@ -152,6 +153,80 @@ class TestOperations:
         complete = Graph(3, [(0, 1), (0, 2), (1, 2)])
         with pytest.raises(GraphError):
             complete.non_edges_sample(1, rng)
+
+    def test_non_edges_sample_preserves_draw_order(self):
+        # the old implementation returned sorted(found): a prefix slice was
+        # biased toward low node indices instead of reflecting draw order
+        graph = load_dataset("smallworld", num_nodes=100, seed=4)
+        sample = graph.non_edges_sample(150, np.random.default_rng(0))
+        rows = [tuple(int(x) for x in row) for row in sample]
+        assert rows != sorted(rows)
+        assert len(set(rows)) == len(rows)
+
+    def test_non_edges_sample_is_deterministic_given_rng(self):
+        graph = load_dataset("smallworld", num_nodes=80, seed=4)
+        a = graph.non_edges_sample(40, np.random.default_rng(9))
+        b = graph.non_edges_sample(40, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_edges_sample_rows_are_canonical(self):
+        graph = load_dataset("smallworld", num_nodes=60, seed=4)
+        sample = graph.non_edges_sample(30, np.random.default_rng(1))
+        assert np.all(sample[:, 0] < sample[:, 1])
+
+    def test_non_edges_sample_dense_graph_succeeds(self):
+        # a near-complete graph used to exhaust the attempt budget and
+        # raise spuriously; the exact-complement fallback must succeed
+        # whenever enough non-edges exist at all
+        n = 40
+        missing = {(i, (i + 1) % n) for i in range(n)}
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in missing and (v, u) not in missing
+        ]
+        dense = Graph(n, edges)
+        assert dense.density > 0.9
+        want = n * (n - 1) // 2 - dense.num_edges
+        sample = dense.non_edges_sample(want, np.random.default_rng(2))
+        assert sample.shape == (want, 2)
+        for u, v in sample:
+            assert not dense.has_edge(int(u), int(v))
+
+    def test_non_edges_sample_dense_graph_respects_exclude(self):
+        complete_minus_two = Graph(
+            5, [(u, v) for u in range(5) for v in range(u + 1, 5)][:-2]
+        )
+        remaining = complete_minus_two.non_edges_sample(2, np.random.default_rng(0))
+        excluded = [tuple(int(x) for x in remaining[0])]
+        sample = complete_minus_two.non_edges_sample(
+            1, np.random.default_rng(0), exclude=excluded
+        )
+        assert tuple(int(x) for x in sample[0]) != excluded[0]
+
+    def test_non_edges_sample_zero_count(self, path_graph, rng):
+        sample = path_graph.non_edges_sample(0, rng)
+        assert sample.shape == (0, 2)
+
+    def test_non_edges_sample_negative_count_raises(self, path_graph, rng):
+        with pytest.raises(GraphError):
+            path_graph.non_edges_sample(-1, rng)
+
+    def test_non_edges_sample_counts_exclude_against_capacity(self, rng):
+        # 4 nodes, path 0-1-2-3: non-edges are (0,2), (0,3), (1,3)
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(GraphError):
+            path.non_edges_sample(3, rng, exclude=[(0, 2)])
+        sample = path.non_edges_sample(2, rng, exclude=[(0, 2)])
+        assert {tuple(int(x) for x in row) for row in sample} == {(0, 3), (1, 3)}
+
+    def test_non_edges_sample_ignores_degenerate_excludes(self, rng):
+        # self-pairs, out-of-range pairs and existing edges in the exclude
+        # list can never be drawn, so they must not count against capacity
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sample = path.non_edges_sample(3, rng, exclude=[(1, 1), (0, 9), (0, 1)])
+        assert {tuple(int(x) for x in row) for row in sample} == {(0, 2), (0, 3), (1, 3)}
 
     def test_equality(self, triangle_graph):
         same = Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3)])

@@ -1,0 +1,125 @@
+"""Tests for the content-addressed RunStore (round-trip, resume, corruption)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import OrchestrationError
+from repro.experiments import RunStore
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+RESULT = {"metric": "strucequ", "mean": 0.5, "std": 0.1, "repeats": 3}
+
+
+class TestMemoryTier:
+    def test_round_trip(self):
+        store = RunStore()
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, RESULT)
+        assert store.get(KEY_A) == RESULT
+        assert KEY_A in store
+        assert KEY_B not in store
+        assert store.hits == 1 and store.misses == 1 and store.stores == 1
+
+    def test_get_returns_a_copy(self):
+        store = RunStore()
+        store.put(KEY_A, RESULT)
+        fetched = store.get(KEY_A)
+        fetched["mean"] = -99.0
+        assert store.get(KEY_A)["mean"] == 0.5
+
+    def test_rejects_malformed_keys(self):
+        store = RunStore()
+        for bad in ("abc", KEY_A[:-1], KEY_A.upper(), 7):
+            with pytest.raises(OrchestrationError):
+                store.get(bad)
+
+    def test_clear_resets(self):
+        store = RunStore()
+        store.put(KEY_A, RESULT)
+        store.clear()
+        assert len(store) == 0
+        assert store.stores == 0
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        RunStore(tmp_path).put(KEY_A, RESULT, spec={"kind": "strucequ"})
+        fresh = RunStore(tmp_path)
+        assert fresh.get(KEY_A) == RESULT
+        assert KEY_A in fresh.keys()
+        assert len(fresh) == 1
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(KEY_A, RESULT)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == [f"{KEY_A}.json"]
+
+    def test_corrupt_payload_degrades_to_miss_and_is_dropped(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = tmp_path / f"{KEY_A}.json"
+        path.write_text("{ not json at all")
+        assert store.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_contains_agrees_with_get_on_corrupt_entries(self, tmp_path):
+        # containment must validate the payload, not just stat the file
+        store = RunStore(tmp_path)
+        (tmp_path / f"{KEY_A}.json").write_text("{ not json at all")
+        assert KEY_A not in store
+        store.put(KEY_B, RESULT)
+        assert KEY_B in RunStore(tmp_path)
+
+    def test_foreign_payload_is_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        # valid JSON, wrong schema (key mismatch)
+        (tmp_path / f"{KEY_A}.json").write_text(
+            json.dumps({"version": 1, "key": KEY_B, "result": RESULT})
+        )
+        assert store.get(KEY_A) is None
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        (tmp_path / f"{KEY_A}.json").write_text(
+            json.dumps({"version": 999, "key": KEY_A, "result": RESULT})
+        )
+        assert store.get(KEY_A) is None
+
+    def test_clear_leaves_foreign_files_alone(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(KEY_A, RESULT)
+        foreign = tmp_path / "notes.json"
+        foreign.write_text("{}")
+        store.clear()
+        assert foreign.exists()
+        assert not (tmp_path / f"{KEY_A}.json").exists()
+
+    def test_directory_created_lazily(self, tmp_path):
+        directory = tmp_path / "nested" / "runs"
+        store = RunStore(directory)
+        assert not directory.exists()
+        store.put(KEY_A, RESULT)
+        assert directory.exists()
+
+    def test_concurrent_writers_do_not_interleave(self, tmp_path):
+        # two stores writing the same key: last atomic rename wins, file valid
+        one, two = RunStore(tmp_path), RunStore(tmp_path)
+        one.put(KEY_A, {"mean": 1.0})
+        two.put(KEY_A, {"mean": 2.0})
+        assert RunStore(tmp_path).get(KEY_A) in ({"mean": 1.0}, {"mean": 2.0})
+
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path):
+        directory = tmp_path / "runs"
+        directory.mkdir()
+        os.chmod(directory, 0o500)
+        try:
+            store = RunStore(directory)
+            store.put(KEY_A, RESULT)  # warning, not crash
+            assert store.get(KEY_A) == RESULT  # memory tier still serves it
+        finally:
+            os.chmod(directory, 0o700)
