@@ -1,58 +1,75 @@
 """Link-prediction study: AUC versus privacy budget (a slice of Figure 4).
 
-For each privacy budget, the script trains SE-PrivGEmb on the 90% training
+For each privacy budget, the script fits SE-PrivGEmb on the 90% training
 graph of a fresh link-prediction split and scores the held-out edges against
 an equal number of sampled non-edges, alongside the non-private SE-GEmb
-upper bound.
+upper bound.  Both methods come from the same registry and are fitted
+through the same ``build(...).fit(graph)`` estimator surface.
 
 Run with:
 
     python examples/link_prediction_study.py [dataset]
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` to shrink the run to CI-smoke size.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import (
     PrivacyConfig,
-    SEGEmbTrainer,
-    SEPrivGEmbTrainer,
     TrainingConfig,
-    DeepWalkProximity,
+    get_method,
     link_prediction_auc,
     load_dataset,
     make_link_prediction_split,
 )
 
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE") == "1"
+
 
 def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "chameleon"
-    graph = load_dataset(dataset, scale=0.4, seed=0)
+    graph = load_dataset(dataset, scale=0.2 if SMOKE else 0.4, seed=0)
     print(f"Loaded {graph}")
 
     training = TrainingConfig(
-        embedding_dim=16, batch_size=96, learning_rate=0.1, negative_samples=5, epochs=200
+        embedding_dim=8 if SMOKE else 16,
+        batch_size=96,
+        learning_rate=0.1,
+        negative_samples=5,
+        epochs=40 if SMOKE else 200,
     )
-    proximity = DeepWalkProximity(window_size=5)
     split = make_link_prediction_split(graph, test_fraction=0.1, seed=0)
 
-    nonprivate = SEGEmbTrainer(split.training_graph, proximity, config=training, seed=0).train()
-    print(f"non-private SE-GEmb DW : AUC = {link_prediction_auc(nonprivate.embeddings, split):.4f}")
+    # The split's training graph is throwaway, so the DeepWalk proximity is
+    # computed ephemerally (proximity_cache="off") instead of staying
+    # pinned in the process-wide cache; both methods share it by fitting
+    # the non-private model first and reusing its matrix.
+    nonprivate = (
+        get_method("se_gemb_dw")
+        .build(training, seed=0, proximity_cache="off")
+        .fit(split.training_graph)
+    )
+    auc = link_prediction_auc(nonprivate.embeddings_, split)
+    print(f"non-private SE-GEmb DW : AUC = {auc:.4f}")
 
-    for epsilon in (0.5, 1.5, 2.5, 3.5):
-        trainer = SEPrivGEmbTrainer(
-            split.training_graph,
-            proximity,
-            training_config=training,
-            privacy_config=PrivacyConfig(epsilon=epsilon),
+    spec = get_method("se_privgemb_dw")
+    epsilons = (0.5, 3.5) if SMOKE else (0.5, 1.5, 2.5, 3.5)
+    for epsilon in epsilons:
+        model = spec.build(
+            training,
+            PrivacyConfig(epsilon=epsilon),
             seed=0,
-        )
-        result = trainer.train()
-        auc = link_prediction_auc(result.embeddings, split)
+            proximity_cache="off",
+        ).fit(split.training_graph, proximity=nonprivate.proximity_matrix)
+        auc = link_prediction_auc(model.embeddings_, split)
+        spent = model.result_.privacy_spent
         print(
             f"SE-PrivGEmb DW ε={epsilon:<4}: AUC = {auc:.4f} "
-            f"({result.epochs_run} private epochs, spent {result.privacy_spent.epsilon:.2f})"
+            f"({model.result_.epochs_run} private epochs, spent {spent.epsilon:.2f})"
         )
 
 

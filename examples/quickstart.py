@@ -1,73 +1,90 @@
-"""Quickstart: train SE-PrivGEmb on a built-in dataset and evaluate it.
+"""Quickstart: train SE-PrivGEmb through the estimator API and evaluate it.
 
 Run with:
 
     python examples/quickstart.py
 
-The script loads the Chameleon stand-in graph, trains the differentially
-private SE-PrivGEmb embedding with the DeepWalk structure preference, reports
-the privacy actually spent, and evaluates both downstream tasks from the
-paper (structural equivalence and link prediction).
+The script loads the Chameleon stand-in graph, resolves the paper's
+flagship method from the declarative registry, fits it as a differentially
+private estimator, reports the privacy actually spent, evaluates both
+downstream tasks from the paper (structural equivalence and link
+prediction), and round-trips the fitted model through a persisted artifact.
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` to shrink the run to CI-smoke size.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 from repro import (
+    Embedder,
     PrivacyConfig,
-    SEPrivGEmbTrainer,
     TrainingConfig,
+    get_method,
     link_prediction_auc,
     load_dataset,
     make_link_prediction_split,
     structural_equivalence_score,
 )
-from repro.proximity import compute_proximity, default_proximity_cache
+from repro.proximity import default_proximity_cache
+
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE") == "1"
 
 
 def main() -> None:
-    graph = load_dataset("chameleon", scale=0.5, seed=0)
+    graph = load_dataset("chameleon", scale=0.25 if SMOKE else 0.5, seed=0)
     print(f"Loaded {graph}")
 
     training = TrainingConfig(
-        embedding_dim=32,
+        embedding_dim=16 if SMOKE else 32,
         batch_size=128,
         learning_rate=0.1,
         negative_samples=5,
-        epochs=200,
+        epochs=40 if SMOKE else 200,
     )
     privacy = PrivacyConfig(epsilon=3.5, delta=1e-5, noise_multiplier=5.0, clipping_threshold=2.0)
 
-    # The proximity is deterministic given the graph, so route it through the
-    # cache: the first call computes the matrix, repeated runs on the same
-    # graph — a second trainer, a sweep, another script invocation with a
-    # disk-backed cache — reuse it without recomputing.  (Pass
-    # truncation_threshold > 0 for the CSR-backed scale path.)
-    proximity = compute_proximity("deepwalk", graph, window_size=5)
+    # Every method of the paper is one registry entry; the spec knows its
+    # trainer class, proximity factory, perturbation and privacy flag.
+    spec = get_method("se_privgemb_dw")
+    print(f"Method {spec.name!r}: private={spec.private}, proximity={spec.proximity!r}")
+
+    # build() -> unfitted estimator; fit(graph) trains it.  The DeepWalk
+    # proximity matrix is resolved through the process-wide cache
+    # (proximity_cache="default"), so a second fit on the same graph —
+    # another model, a sweep, an ε study — never recomputes it.
+    model = spec.build(training, privacy, seed=0).fit(graph)
     cache = default_proximity_cache()
-    print(f"Proximity: {proximity} (cache: {cache.hits} hits, {cache.misses} misses)")
+    print(f"Proximity cache after fit: {cache.hits} hits, {cache.misses} misses")
 
-    trainer = SEPrivGEmbTrainer(
-        graph,
-        proximity,
-        training_config=training,
-        privacy_config=privacy,
-        seed=0,
-    )
-    print(f"Budget allows at most {trainer.max_private_epochs()} private epochs")
-
-    result = trainer.train()
+    result = model.result_
     print(f"Trained for {result.epochs_run} epochs; privacy spent: {result.privacy_spent}")
 
-    strucequ = structural_equivalence_score(graph, result.embeddings)
+    strucequ = structural_equivalence_score(graph, model.embeddings_)
     print(f"Structural equivalence (StrucEqu): {strucequ:.4f}")
 
     split = make_link_prediction_split(graph, seed=0)
-    auc = link_prediction_auc(result.embeddings, split)
+    auc = link_prediction_auc(model.embeddings_, split)
     print(f"Link prediction AUC on held-out edges: {auc:.4f}")
 
-    # Cached reuse: asking for the same proximity again is a hit, no recompute.
-    compute_proximity("deepwalk", graph, window_size=5)
-    print(f"Proximity cache after reuse: {cache.hits} hits, {cache.misses} misses")
+    # The fitted model is a persistable artifact: one .npz file carrying
+    # the embeddings plus the method spec, configs, dataset/proximity
+    # fingerprints and the budget spent.  load() round-trips bit-exactly.
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "se_privgemb_dw.npz")
+        model.save(path)
+        reloaded = Embedder.load(path)
+        identical = (reloaded.embeddings_ == model.embeddings_).all()
+        print(
+            f"Artifact round-trip: identical={bool(identical)}, "
+            f"spent={reloaded.result_.privacy_spent}"
+        )
+
+    # Cached reuse: a second model on the same graph hits the cache.
+    spec.build(training, privacy, seed=1).fit(graph)
+    print(f"Proximity cache after a second fit: {cache.hits} hits, {cache.misses} misses")
 
 
 if __name__ == "__main__":

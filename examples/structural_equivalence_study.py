@@ -3,45 +3,60 @@
 Reproduces a single-dataset slice of Figure 3: for a sweep of privacy
 budgets, it trains SE-PrivGEmb (DeepWalk and degree preferences), the
 non-private SE-GEmb upper bound, and the GAP/ProGAP/DPGVAE baselines, and
-prints the StrucEqu series.
+prints the StrucEqu series.  Method names are validated through the
+declarative registry (``repro.models.available_methods()``).
 
 Run with:
 
     python examples/structural_equivalence_study.py [dataset]
 
 where ``dataset`` is one of the registered dataset names (default
-``chameleon``).
+``chameleon``).  Set ``REPRO_EXAMPLE_SMOKE=1`` to shrink the run to
+CI-smoke size.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
-from repro import PrivacyConfig, TrainingConfig, load_dataset
+from repro import PrivacyConfig, TrainingConfig, get_method, load_dataset
 from repro.experiments import figure_structural_equivalence, ExperimentSettings
+
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE") == "1"
 
 
 def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "chameleon"
     settings = ExperimentSettings(
         datasets=(dataset,),
-        dataset_scale=0.4,
-        repeats=2,
+        dataset_scale=0.2 if SMOKE else 0.4,
+        repeats=1 if SMOKE else 2,
         training=TrainingConfig(
-            embedding_dim=16, batch_size=96, learning_rate=0.1, negative_samples=5, epochs=150
+            embedding_dim=8 if SMOKE else 16,
+            batch_size=96,
+            learning_rate=0.1,
+            negative_samples=5,
+            epochs=20 if SMOKE else 150,
         ),
         privacy=PrivacyConfig(),
-        epsilons=(0.5, 1.5, 2.5, 3.5),
+        epsilons=(0.5, 3.5) if SMOKE else (0.5, 1.5, 2.5, 3.5),
         seed=11,
     )
     methods = (
-        "dpgvae",
-        "gap",
-        "progap",
-        "se_gemb_dw",
-        "se_privgemb_dw",
-        "se_privgemb_deg",
+        ("se_gemb_dw", "se_privgemb_dw", "gap")
+        if SMOKE
+        else (
+            "dpgvae",
+            "gap",
+            "progap",
+            "se_gemb_dw",
+            "se_privgemb_dw",
+            "se_privgemb_deg",
+        )
     )
+    # fail fast (with a did-you-mean hint) before any training starts
+    methods = tuple(get_method(name).name for name in methods)
     print(f"Running structural-equivalence sweep on {dataset!r} (this takes a few minutes)")
     table = figure_structural_equivalence(settings, methods=methods)
     print(table.to_text())

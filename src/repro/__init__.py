@@ -3,13 +3,15 @@
 Reproduction of Zhang, Ye & Hu, *Structure-Preference Enabled Graph Embedding
 Generation under Differential Privacy* (ICDE 2025).
 
-The most common entry points are re-exported here:
+The most common entry points are re-exported here.  Every method is an
+:class:`~repro.models.Embedder` built from the declarative method registry:
 
->>> from repro import load_dataset, SEPrivGEmbTrainer, DeepWalkProximity
+>>> from repro import load_dataset, get_method
 >>> graph = load_dataset("chameleon", scale=0.3)
->>> trainer = SEPrivGEmbTrainer(graph, DeepWalkProximity())
->>> result = trainer.train(epochs=20)
->>> result.embeddings.shape[0] == graph.num_nodes
+>>> model = get_method("se_privgemb_dw").build(seed=0).fit(graph)
+>>> model.embeddings_.shape[0] == graph.num_nodes
+True
+>>> model.result_.privacy_spent is not None
 True
 """
 
@@ -54,6 +56,14 @@ from .embedding import (
     NonZeroPerturbation,
 )
 from .baselines import DPGGAN, DPGVAE, GAP, ProGAP, get_baseline, available_baselines
+from .models import (
+    Embedder,
+    FitResult,
+    MethodSpec,
+    available_methods,
+    get_method,
+    register as register_method,
+)
 from .evaluation import (
     structural_equivalence_score,
     link_prediction_auc,
@@ -108,6 +118,12 @@ __all__ = [
     "ProGAP",
     "get_baseline",
     "available_baselines",
+    "Embedder",
+    "FitResult",
+    "MethodSpec",
+    "available_methods",
+    "get_method",
+    "register_method",
     "structural_equivalence_score",
     "link_prediction_auc",
     "make_link_prediction_split",

@@ -2,9 +2,13 @@
 
 The experiment runner treats every method — SE-PrivGEmb variants and the
 four DP baselines — as "something that maps a graph to an ``|V| × r``
-embedding matrix under a privacy budget".  :class:`BaselineEmbedder` is that
-interface; each concrete baseline documents which privacy mechanism it uses
-and how faithful the simplification is to the published method.
+embedding matrix under a privacy budget".  :class:`BaselineEmbedder` adapts
+that contract onto the :class:`~repro.models.Embedder` estimator protocol:
+``fit(graph)`` returns the fitted estimator (use :attr:`embeddings` /
+``embeddings_`` or :meth:`fit_transform` for the matrix itself); concrete
+baselines implement :meth:`_fit_embeddings` and document which privacy
+mechanism they use and how faithful the simplification is to the published
+method.
 """
 
 from __future__ import annotations
@@ -16,12 +20,14 @@ import numpy as np
 from ..config import PrivacyConfig, TrainingConfig
 from ..exceptions import TrainingError
 from ..graph import Graph
+from ..models.base import Embedder, FitResult
+from ..privacy.accountant import PrivacySpent
 from ..utils.rng import ensure_rng
 
 __all__ = ["BaselineEmbedder"]
 
 
-class BaselineEmbedder(abc.ABC):
+class BaselineEmbedder(Embedder):
     """A method that produces node embeddings for a graph under a DP budget.
 
     Parameters
@@ -44,15 +50,40 @@ class BaselineEmbedder(abc.ABC):
         privacy_config: PrivacyConfig | None = None,
         seed: int | np.random.Generator | None = None,
     ) -> None:
+        super().__init__()
         self.training_config = training_config or TrainingConfig()
         self.privacy_config = privacy_config or PrivacyConfig()
+        self._seed = seed
         self._rng = ensure_rng(seed)
-        self._embeddings: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
+    def _fit_rng(self) -> np.random.Generator:
+        # a fresh generator from the stored seed per fit: `cls(seed=7)`
+        # stays bitwise identical to the pre-estimator behaviour on its
+        # first fit, *and* refits are deterministic / unaffected by an
+        # earlier per-fit rng override (matching the SE trainers)
+        return ensure_rng(self._seed)
+
+    def _fit(self, graph: Graph, rng: np.random.Generator) -> FitResult:
+        self._rng = rng
+        self._fit_embeddings(graph)
+        # These baselines have no step-level accountant to snapshot: each
+        # calibrates its mechanism noise so the *whole* release meets the
+        # configured (ε, δ) target, so the budget spent is the target by
+        # construction.  best_alpha/steps are 0 — "no accountant curve".
+        privacy = self.privacy_config
+        return FitResult(
+            privacy_spent=PrivacySpent(
+                epsilon=privacy.epsilon,
+                delta=privacy.delta,
+                best_alpha=0.0,
+                steps=0,
+            )
+        )
+
     @abc.abstractmethod
-    def fit(self, graph: Graph) -> np.ndarray:
-        """Train on ``graph`` and return the ``|V| × r`` embedding matrix."""
+    def _fit_embeddings(self, graph: Graph) -> np.ndarray:
+        """Train on ``graph``; call :meth:`_store` with the ``|V| × r`` matrix."""
 
     @property
     def embeddings(self) -> np.ndarray:
@@ -60,10 +91,6 @@ class BaselineEmbedder(abc.ABC):
         if self._embeddings is None:
             raise TrainingError(f"{type(self).__name__} has not been fitted yet")
         return self._embeddings
-
-    def fit_transform(self, graph: Graph) -> np.ndarray:
-        """Alias of :meth:`fit` following the scikit-learn naming convention."""
-        return self.fit(graph)
 
     # ------------------------------------------------------------------ #
     def _output_noise_std(

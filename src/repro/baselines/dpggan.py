@@ -39,7 +39,7 @@ class DPGGAN(BaselineEmbedder):
         super().__init__(*args, **kwargs)
         self.hidden_dim = int(hidden_dim)
 
-    def fit(self, graph: Graph) -> np.ndarray:
+    def _fit_embeddings(self, graph: Graph) -> np.ndarray:
         """Adversarially train the DP graph GAN and return the latent codes."""
         cfg = self.training_config
         privacy = self.privacy_config

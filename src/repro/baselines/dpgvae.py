@@ -40,7 +40,7 @@ class DPGVAE(BaselineEmbedder):
         super().__init__(*args, **kwargs)
         self.hidden_dim = int(hidden_dim)
 
-    def fit(self, graph: Graph) -> np.ndarray:
+    def _fit_embeddings(self, graph: Graph) -> np.ndarray:
         """Train the DP graph VAE and return the latent mean embeddings."""
         cfg = self.training_config
         privacy = self.privacy_config

@@ -78,7 +78,7 @@ class GAP(BaselineEmbedder):
                 hi = mid
         return hi
 
-    def fit(self, graph: Graph) -> np.ndarray:
+    def _fit_embeddings(self, graph: Graph) -> np.ndarray:
         """Encode the graph with noisy aggregations and return the embeddings."""
         cfg = self.training_config
         n = graph.num_nodes

@@ -68,7 +68,7 @@ class ProGAP(BaselineEmbedder):
                 hi = mid
         return hi
 
-    def fit(self, graph: Graph) -> np.ndarray:
+    def _fit_embeddings(self, graph: Graph) -> np.ndarray:
         """Progressively encode the graph and return the final-stage embeddings."""
         cfg = self.training_config
         n = graph.num_nodes

@@ -18,6 +18,16 @@ node-level DP guarantee.
 The loop itself is :class:`~repro.engine.TrainingEngine`; this class is a
 thin configuration of it — the clip→noise→average update rule plus the RDP
 accounting and iterate-averaging hooks.
+
+Since the estimator redesign the trainer follows the
+:class:`~repro.models.Embedder` protocol: configure, then ``fit(graph)``::
+
+    model = SEPrivGEmbTrainer(DeepWalkProximity(), privacy_config=privacy).fit(graph)
+    model.result_.privacy_spent   # budget actually consumed
+
+The pre-estimator convention — graph in the constructor, ``train()`` to
+run — still works behind a :class:`DeprecationWarning` and produces
+bit-identical embeddings for the same seed.
 """
 
 from __future__ import annotations
@@ -37,11 +47,11 @@ from ..engine import (
 from ..exceptions import TrainingError
 from ..graph import Graph
 from ..graph.sampling import (
-    EdgeSubgraph,
     ProximityNegativeSampler,
     SubgraphSampler,
     generate_disjoint_subgraph_arrays,
 )
+from ..models.base import FitResult
 from ..privacy.accountant import PrivacySpent, RdpAccountant
 from ..proximity.base import ProximityMatrix, ProximityMeasure
 from ..utils.logging import get_logger
@@ -50,6 +60,7 @@ from .objectives import StructurePreferenceObjective
 from .optimizer import SGDOptimizer
 from .perturbation import PerturbationStrategy, get_perturbation
 from .skipgram import SkipGramModel
+from .trainer import SkipGramTrainerBase
 
 __all__ = ["PrivateEmbeddingResult", "SEPrivGEmbTrainer"]
 
@@ -73,16 +84,15 @@ class PrivateEmbeddingResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
-class SEPrivGEmbTrainer:
+class SEPrivGEmbTrainer(SkipGramTrainerBase):
     """Structure-preference enabled private graph embedding (SE-PrivGEmb).
 
     Parameters
     ----------
-    graph:
-        Training graph.
     proximity:
-        A :class:`ProximityMeasure` (computed lazily) or precomputed
-        :class:`ProximityMatrix` providing the structure preference.
+        A :class:`ProximityMeasure` (computed at fit time, honouring
+        ``proximity_cache``) or precomputed :class:`ProximityMatrix`
+        providing the structure preference.
     training_config:
         Skip-gram / SGD hyper-parameters (``B``, ``η``, ``k``, ``r``,
         epochs).
@@ -112,38 +122,145 @@ class SEPrivGEmbTrainer:
         scaled-down experiments in this reproduction converge within the
         small epoch budgets the privacy accountant allows.
     seed:
-        Master seed for initialisation, sampling and noise.
+        Master seed for initialisation, sampling and noise; overridable per
+        fit with ``fit(graph, rng=...)``.
+    proximity_cache:
+        ``"off"`` (default), ``"default"`` (process-wide cache) or an
+        explicit :class:`~repro.proximity.cache.ProximityCache`; ignored
+        when ``proximity`` is already a matrix.
+
+    Passing the graph as the first constructor argument (the pre-estimator
+    convention, followed by ``train()``) is still supported but deprecated.
     """
+
+    _LEGACY_POSITIONALS = (
+        "proximity",
+        "training_config",
+        "privacy_config",
+        "perturbation",
+        "iterate_averaging",
+        "gradient_normalization",
+        "seed",
+    )
 
     def __init__(
         self,
-        graph: Graph,
-        proximity: ProximityMeasure | ProximityMatrix,
+        *args,
+        graph: Graph | None = None,
+        proximity: ProximityMeasure | ProximityMatrix | None = None,
         training_config: TrainingConfig | None = None,
         privacy_config: PrivacyConfig | None = None,
         perturbation: str | PerturbationStrategy = "nonzero",
         iterate_averaging: bool = True,
         gradient_normalization: str = "per_row",
         seed: int | np.random.Generator | None = None,
+        proximity_cache="off",
     ) -> None:
-        if graph.num_edges == 0:
-            raise TrainingError("cannot train on a graph with no edges")
+        super().__init__()
+        graph, values = self._resolve_init_args(
+            args,
+            graph,
+            {
+                "proximity": proximity,
+                "training_config": training_config,
+                "privacy_config": privacy_config,
+                "perturbation": perturbation,
+                "iterate_averaging": iterate_averaging,
+                "gradient_normalization": gradient_normalization,
+                "seed": seed,
+            },
+        )
+        proximity = values["proximity"]
+        training_config = values["training_config"]
+        privacy_config = values["privacy_config"]
+        perturbation = values["perturbation"]
+        iterate_averaging = values["iterate_averaging"]
+        gradient_normalization = values["gradient_normalization"]
+        seed = values["seed"]
+
+        if proximity is None:
+            raise TrainingError("SEPrivGEmbTrainer requires a proximity measure or matrix")
         if gradient_normalization not in {"per_row", "batch"}:
             raise TrainingError(
                 "gradient_normalization must be 'per_row' or 'batch', got "
                 f"{gradient_normalization!r}"
             )
-        self.graph = graph
+        self.proximity = proximity
         self.iterate_averaging = bool(iterate_averaging)
         self.gradient_normalization = gradient_normalization
         self.training_config = training_config or TrainingConfig()
         self.privacy_config = privacy_config or PrivacyConfig()
-        self._rng = ensure_rng(seed if seed is not None else self.training_config.seed)
+        self._perturbation_spec = perturbation
+        self.perturbation: PerturbationStrategy | None = (
+            perturbation if isinstance(perturbation, PerturbationStrategy) else None
+        )
+        self._seed = seed
+        self._proximity_cache = proximity_cache
+        self.graph: Graph | None = None
+        self.engine: TrainingEngine | None = None
+        self.accountant: RdpAccountant | None = None
+        self.proximity_matrix: ProximityMatrix | None = None
 
-        if isinstance(proximity, ProximityMatrix):
-            self.proximity_matrix = proximity
-        else:
-            self.proximity_matrix = proximity.compute(graph)
+        if graph is not None:
+            self._warn_legacy_graph_convention()
+            self._rng = ensure_rng(seed if seed is not None else self.training_config.seed)
+            self._setup(graph, self._rng)
+
+    # ------------------------------------------------------------------ #
+    def _metadata(self) -> dict:
+        meta = super()._metadata()
+        strategy = self.perturbation
+        if strategy is not None:
+            meta["perturbation"] = strategy.name
+        elif isinstance(self._perturbation_spec, str):
+            meta["perturbation"] = self._perturbation_spec
+        return meta
+
+    def _build_options(self) -> dict:
+        return {
+            **super()._build_options(),
+            "iterate_averaging": self.iterate_averaging,
+            "gradient_normalization": self.gradient_normalization,
+        }
+
+    @classmethod
+    def from_method_spec(
+        cls,
+        spec,
+        *,
+        training=None,
+        privacy=None,
+        perturbation=None,
+        proximity=None,
+        proximity_cache="default",
+        seed=None,
+        **kwargs,
+    ) -> "SEPrivGEmbTrainer":
+        model = cls(
+            proximity=proximity,
+            training_config=training,
+            privacy_config=privacy,
+            perturbation=perturbation if perturbation is not None else "nonzero",
+            seed=seed,
+            proximity_cache=proximity_cache,
+            **kwargs,
+        )
+        model._spec = spec
+        return model
+
+    # ------------------------------------------------------------------ #
+    def _setup(
+        self,
+        graph: Graph,
+        rng: np.random.Generator,
+        proximity: ProximityMatrix | None = None,
+    ) -> None:
+        """Build model, samplers, perturbation, accountant and engine."""
+        if graph.num_edges == 0:
+            raise TrainingError("cannot train on a graph with no edges")
+        self.graph = graph
+        self._rng = rng
+        self.proximity_matrix = self._resolve_proximity_matrix(graph, proximity)
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
         self.model = SkipGramModel(
@@ -166,11 +283,11 @@ class SEPrivGEmbTrainer:
             self._subgraph_pool, self.training_config.batch_size, seed=self._rng
         )
 
-        if isinstance(perturbation, PerturbationStrategy):
-            self.perturbation = perturbation
+        if isinstance(self._perturbation_spec, PerturbationStrategy):
+            self.perturbation = self._perturbation_spec
         else:
             self.perturbation = get_perturbation(
-                perturbation,
+                self._perturbation_spec,
                 clipping_threshold=self.privacy_config.clipping_threshold,
                 noise_multiplier=self.privacy_config.noise_multiplier,
                 seed=self._rng,
@@ -199,52 +316,70 @@ class SEPrivGEmbTrainer:
             hooks=hooks,
         )
 
+    def _run_engine(self, epochs: int | None) -> FitResult:
+        epochs = int(epochs) if epochs is not None else self.training_config.epochs
+        if epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {epochs}")
+        result = self.engine.run(epochs)
+        spent = self.accountant.get_privacy_spent(self.privacy_config.delta)
+        self._embeddings = result.embeddings
+        self._context_embeddings = result.context_embeddings
+        return FitResult(
+            losses=result.losses,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+            privacy_spent=spent,
+        )
+
     # ------------------------------------------------------------------ #
-    @property
-    def sampling_rate(self) -> float:
-        """The subsampling rate ``γ = B / |GS|`` used for amplification."""
-        return self._sampler.sampling_rate
-
-    @property
-    def subgraphs(self) -> list[EdgeSubgraph]:
-        """The Algorithm-1 subgraph set as per-example dataclasses.
-
-        A fresh copy built from the pool arrays on each access; mutating
-        it has no effect on training.
-        """
-        return self._subgraph_pool.to_subgraphs()
-
     def max_private_epochs(self) -> int:
-        """Number of epochs the (ε, δ) budget allows (Algorithm 2 stop rule)."""
+        """Number of epochs the (ε, δ) budget allows (Algorithm 2 stop rule).
+
+        Requires a graph: the sampling rate γ depends on the subgraph set,
+        so the trainer must have been constructed the deprecated way or
+        already fitted.
+        """
+        self._require_setup()
         return self.accountant.max_steps(
             self.privacy_config.epsilon, self.privacy_config.delta
         )
 
     def train(self, epochs: int | None = None) -> PrivateEmbeddingResult:
-        """Run Algorithm 2 and return the private embeddings.
+        """Run Algorithm 2 and return the private embeddings (legacy entry).
 
         Training runs for ``epochs`` (default ``training_config.epochs``) or
-        until the privacy budget is exhausted, whichever comes first.
+        until the privacy budget is exhausted, whichever comes first.  New
+        code should call ``fit(graph)`` and read ``embeddings_`` /
+        ``result_``.
         """
-        epochs = int(epochs) if epochs is not None else self.training_config.epochs
-        if epochs <= 0:
-            raise TrainingError(f"epochs must be positive, got {epochs}")
-
-        result = self.engine.run(epochs)
-        spent = self.accountant.get_privacy_spent(self.privacy_config.delta)
+        self._require_setup()
+        result = self._run_engine(epochs)
+        self._result = result
+        self._dataset_fingerprint = self.graph.content_fingerprint()
         return PrivateEmbeddingResult(
-            embeddings=result.embeddings,
-            context_embeddings=result.context_embeddings,
-            privacy_spent=spent,
+            embeddings=self._embeddings,
+            context_embeddings=self._context_embeddings,
+            privacy_spent=result.privacy_spent,
             losses=result.losses,
             epochs_run=result.epochs_run,
             stopped_early=result.stopped_early,
         )
 
     def __repr__(self) -> str:
+        graph_name = self.graph.name if self.graph is not None else None
+        proximity = (
+            self.proximity_matrix.name
+            if self.proximity_matrix is not None
+            else getattr(self.proximity, "name", type(self.proximity).__name__)
+        )
+        perturbation = (
+            self.perturbation.name
+            if self.perturbation is not None
+            else str(self._perturbation_spec)
+        )
         return (
-            f"SEPrivGEmbTrainer(graph={self.graph.name!r}, "
-            f"proximity={self.proximity_matrix.name!r}, "
-            f"perturbation={self.perturbation.name!r}, "
+            f"SEPrivGEmbTrainer(graph={graph_name!r}, "
+            f"proximity={proximity!r}, "
+            f"perturbation={perturbation!r}, "
             f"epsilon={self.privacy_config.epsilon})"
         )

@@ -9,10 +9,22 @@ gradient.
 The epoch loop itself lives in :class:`~repro.engine.TrainingEngine`; this
 class is a thin configuration of it — vectorized batch gradients applied
 with the exact scatter update rule, plus a loss-logging hook.
+
+Since the estimator redesign the trainer follows the
+:class:`~repro.models.Embedder` protocol: configure it with a proximity
+measure, then ``fit(graph)``::
+
+    model = SEGEmbTrainer(DegreeProximity(), config=training, seed=0).fit(graph)
+    model.embeddings_
+
+The pre-redesign convention — graph in the constructor, ``train()`` to run —
+still works behind a :class:`DeprecationWarning` and produces bit-identical
+embeddings for the same seed.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,7 +45,9 @@ from ..graph.sampling import (
     UnigramNegativeSampler,
     generate_disjoint_subgraph_arrays,
 )
+from ..models.base import Embedder, FitResult
 from ..proximity.base import ProximityMatrix, ProximityMeasure
+from ..proximity.cache import resolve_cache_policy
 from ..utils.logging import get_logger
 from ..utils.rng import ensure_rng
 from .objectives import StructurePreferenceObjective
@@ -43,6 +57,26 @@ from .skipgram import SkipGramModel
 __all__ = ["EmbeddingResult", "SEGEmbTrainer"]
 
 _LOGGER = get_logger("embedding.trainer")
+
+
+def bind_legacy_positionals(
+    cls_name: str, names: tuple[str, ...], args: tuple, kwargs: dict
+) -> None:
+    """Map leftover legacy positional arguments onto their keyword slots.
+
+    Shared by both trainers' dual-convention constructors; mutates
+    ``kwargs`` in place and raises ``TypeError`` with the usual
+    duplicate/arity messages so the shim feels like a normal signature.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls_name}() takes at most {len(names) + 1} positional arguments "
+            f"({len(args) + 1} given)"
+        )
+    for name, value in zip(names, args):
+        if name in kwargs:
+            raise TypeError(f"{cls_name}() got multiple values for argument {name!r}")
+        kwargs[name] = value
 
 
 @dataclass
@@ -60,16 +94,129 @@ class EmbeddingResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
-class SEGEmbTrainer:
+class SkipGramTrainerBase(Embedder):
+    """Estimator plumbing shared by the SE-GEmb / SE-PrivGEmb trainers.
+
+    Both trainers configure the same engine around a proximity-driven
+    skip-gram model; everything that is not specific to the private update
+    path lives here once: proximity resolution (with the per-fit override),
+    the fit skeleton, the set-up guard, and the Algorithm-1 accessors.
+    Subclasses provide ``_setup(graph, rng, proximity=None)`` and
+    ``_run_engine(epochs)``.
+    """
+
+    proximity: ProximityMeasure | ProximityMatrix
+    graph: Graph | None
+    engine: TrainingEngine | None
+    proximity_matrix: ProximityMatrix | None
+    _proximity_cache: object
+    _seed: object
+
+    def _fit_rng(self) -> np.random.Generator:
+        # training_config is the protocol-wide name (SEGEmbTrainer aliases
+        # its `config` attribute onto it)
+        return ensure_rng(
+            self._seed if self._seed is not None else self.training_config.seed
+        )
+
+    def _resolve_init_args(
+        self, args: tuple, graph: Graph | None, keyword_values: dict
+    ) -> tuple[Graph | None, dict]:
+        """Shared dual-convention constructor parsing.
+
+        ``keyword_values`` maps the class's ``_LEGACY_POSITIONALS`` names to
+        the keyword-passed values; leftover positionals (with an optional
+        leading legacy graph) are bound over them.  Returns the graph (when
+        the deprecated graph-first convention was used) and the final
+        name → value mapping.
+        """
+        cls_name = type(self).__name__
+        values = dict(keyword_values)
+        if args and isinstance(args[0], Graph):
+            if graph is not None:
+                raise TypeError(f"{cls_name}() got multiple values for argument 'graph'")
+            graph, args = args[0], args[1:]
+        if args:
+            if values.get("proximity") is not None:
+                raise TypeError(
+                    f"{cls_name}() got multiple values for argument 'proximity'"
+                )
+            bound: dict = {"proximity": args[0]}
+            bind_legacy_positionals(cls_name, self._LEGACY_POSITIONALS[1:], args[1:], bound)
+            values.update(bound)
+        return graph, values
+
+    def _warn_legacy_graph_convention(self) -> None:
+        warnings.warn(
+            f"passing the graph to {type(self).__name__}(...) is deprecated; "
+            "construct with the proximity only and call fit(graph) (or use "
+            "repro.models.get_method(...).build(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _resolve_proximity_matrix(
+        self, graph: Graph, override: ProximityMatrix | None = None
+    ) -> ProximityMatrix:
+        """Measure → (possibly cached) matrix; matrices pass through.
+
+        ``override`` is the per-fit precomputed matrix; it applies to this
+        fit only and never replaces the configured ``self.proximity``, so a
+        later ``fit`` on another graph resolves that graph's own matrix.
+        """
+        source = override if override is not None else self.proximity
+        if isinstance(source, ProximityMatrix):
+            self._proximity_fingerprint = f"matrix:{source.name}"
+            return source
+        measure: ProximityMeasure = source
+        self._proximity_fingerprint = measure.fingerprint()
+        cache = resolve_cache_policy(self._proximity_cache)
+        if cache is None:
+            return measure.compute(graph)
+        return cache.get_or_compute(measure, graph)
+
+    def _fit(
+        self,
+        graph: Graph,
+        rng: np.random.Generator,
+        proximity: ProximityMatrix | None = None,
+        epochs: int | None = None,
+    ):
+        self._setup(graph, rng, proximity=proximity)
+        return self._run_engine(epochs)
+
+    def _require_setup(self) -> None:
+        if self.engine is None:
+            raise TrainingError(
+                f"{type(self).__name__} has no graph yet; call fit(graph) first"
+            )
+
+    @property
+    def sampling_rate(self) -> float:
+        """The subsampling rate ``γ = B / |GS|``."""
+        self._require_setup()
+        return self._sampler.sampling_rate
+
+    @property
+    def subgraphs(self) -> list[EdgeSubgraph]:
+        """The Algorithm-1 subgraph set as per-example dataclasses.
+
+        A fresh copy built from the pool arrays on each access; mutating
+        it has no effect on training.
+        """
+        self._require_setup()
+        return self._subgraph_pool.to_subgraphs()
+
+
+class SEGEmbTrainer(SkipGramTrainerBase):
     """Train structure-preference skip-gram embeddings without privacy.
 
     Parameters
     ----------
-    graph:
-        Training graph.
     proximity:
-        Either a :class:`ProximityMeasure` (computed on ``graph`` lazily) or
-        an already-computed :class:`ProximityMatrix`.
+        Either a :class:`ProximityMeasure` (computed on the graph at fit
+        time, honouring ``proximity_cache``) or an already-computed
+        :class:`ProximityMatrix`.
     config:
         Training hyper-parameters.
     negative_sampling:
@@ -79,30 +226,111 @@ class SEGEmbTrainer:
         the prior skip-gram methods (the comparison point of Section IV-B).
     seed:
         Master seed controlling initialisation, sampling and shuffling.
+        ``fit(graph, rng=...)`` overrides it per fit.
+    proximity_cache:
+        ``"off"`` (default) computes a measure's matrix ephemerally;
+        ``"default"`` routes it through the process-wide
+        :class:`~repro.proximity.cache.ProximityCache`; an explicit cache
+        instance is used as-is.  Ignored when ``proximity`` is already a
+        matrix.
+
+    Passing the graph as the first constructor argument (the pre-estimator
+    convention, followed by ``train()``) is still supported but deprecated.
     """
+
+    _LEGACY_POSITIONALS = ("proximity", "config", "negative_sampling", "seed")
 
     def __init__(
         self,
-        graph: Graph,
-        proximity: ProximityMeasure | ProximityMatrix,
+        *args,
+        graph: Graph | None = None,
+        proximity: ProximityMeasure | ProximityMatrix | None = None,
         config: TrainingConfig | None = None,
         negative_sampling: str = "proximity",
         seed: int | np.random.Generator | None = None,
+        proximity_cache="off",
     ) -> None:
-        if graph.num_edges == 0:
-            raise TrainingError("cannot train on a graph with no edges")
+        super().__init__()
+        graph, values = self._resolve_init_args(
+            args,
+            graph,
+            {
+                "proximity": proximity,
+                "config": config,
+                "negative_sampling": negative_sampling,
+                "seed": seed,
+            },
+        )
+        proximity = values["proximity"]
+        config = values["config"]
+        negative_sampling = values["negative_sampling"]
+        seed = values["seed"]
+
+        if proximity is None:
+            raise TrainingError("SEGEmbTrainer requires a proximity measure or matrix")
         if negative_sampling not in {"proximity", "unigram"}:
             raise TrainingError(
                 f"negative_sampling must be 'proximity' or 'unigram', got {negative_sampling!r}"
             )
-        self.graph = graph
+        self.proximity = proximity
         self.config = config or TrainingConfig()
-        self._rng = ensure_rng(seed if seed is not None else self.config.seed)
+        self.negative_sampling = negative_sampling
+        self._seed = seed
+        self._proximity_cache = proximity_cache
+        self.graph: Graph | None = None
+        self.engine: TrainingEngine | None = None
+        self.proximity_matrix: ProximityMatrix | None = None
 
-        if isinstance(proximity, ProximityMatrix):
-            self.proximity_matrix = proximity
-        else:
-            self.proximity_matrix = proximity.compute(graph)
+        if graph is not None:
+            self._warn_legacy_graph_convention()
+            self._rng = ensure_rng(seed if seed is not None else self.config.seed)
+            self._setup(graph, self._rng)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def training_config(self) -> TrainingConfig:
+        """Alias of :attr:`config` (the protocol-wide attribute name)."""
+        return self.config
+
+    def _build_options(self) -> dict:
+        return {**super()._build_options(), "negative_sampling": self.negative_sampling}
+
+    @classmethod
+    def from_method_spec(
+        cls,
+        spec,
+        *,
+        training=None,
+        privacy=None,  # noqa: ARG003 - non-private method, accepted for protocol uniformity
+        perturbation=None,  # noqa: ARG003
+        proximity=None,
+        proximity_cache="default",
+        seed=None,
+        **kwargs,
+    ) -> "SEGEmbTrainer":
+        model = cls(
+            proximity=proximity,
+            config=training,
+            seed=seed,
+            proximity_cache=proximity_cache,
+            **kwargs,
+        )
+        model._spec = spec
+        return model
+
+    # ------------------------------------------------------------------ #
+    def _setup(
+        self,
+        graph: Graph,
+        rng: np.random.Generator,
+        proximity: ProximityMatrix | None = None,
+    ) -> None:
+        """Build model, samplers and engine for ``graph`` (consumes ``rng``)."""
+        if graph.num_edges == 0:
+            raise TrainingError("cannot train on a graph with no edges")
+        self.graph = graph
+        self._rng = rng
+        self.proximity_matrix = self._resolve_proximity_matrix(graph, proximity)
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
         self.model = SkipGramModel(
@@ -110,7 +338,7 @@ class SEGEmbTrainer:
         )
         self.optimizer = SGDOptimizer(self.config.learning_rate)
 
-        if negative_sampling == "proximity":
+        if self.negative_sampling == "proximity":
             negative_sampler = ProximityNegativeSampler.from_proximity(
                 graph, self.proximity_matrix, seed=self._rng
             )
@@ -136,30 +364,42 @@ class SEGEmbTrainer:
             hooks=(LossLoggingHook(_LOGGER),),
         )
 
-    # ------------------------------------------------------------------ #
-    @property
-    def sampling_rate(self) -> float:
-        """``B / |GS|`` — exposed for parity with the private trainer."""
-        return self._sampler.sampling_rate
-
-    @property
-    def subgraphs(self) -> list[EdgeSubgraph]:
-        """The Algorithm-1 subgraph set as per-example dataclasses.
-
-        A fresh copy built from the pool arrays on each access; mutating
-        it has no effect on training.
-        """
-        return self._subgraph_pool.to_subgraphs()
-
-    def train(self, epochs: int | None = None) -> EmbeddingResult:
-        """Run training for ``epochs`` (default: ``config.epochs``) and return embeddings."""
+    def _run_engine(self, epochs: int | None) -> FitResult:
+        """Run the (already set up) engine and install the fitted state."""
         epochs = int(epochs) if epochs is not None else self.config.epochs
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
         result = self.engine.run(epochs)
-        return EmbeddingResult(
-            embeddings=result.embeddings,
-            context_embeddings=result.context_embeddings,
+        self._embeddings = result.embeddings
+        self._context_embeddings = result.context_embeddings
+        return FitResult(
             losses=result.losses,
             epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+        )
+
+    def train(self, epochs: int | None = None) -> EmbeddingResult:
+        """Run training and return embeddings (pre-estimator entry point).
+
+        Requires the deprecated graph-at-construction form (or a prior
+        ``fit``); new code should call ``fit(graph)`` and read
+        ``embeddings_`` / ``result_``.
+        """
+        self._require_setup()
+        result = self._run_engine(epochs)
+        self._result = result
+        self._dataset_fingerprint = self.graph.content_fingerprint()
+        return EmbeddingResult(
+            embeddings=self._embeddings,
+            context_embeddings=self._context_embeddings,
+            losses=result.losses,
+            epochs_run=result.epochs_run,
+        )
+
+    def __repr__(self) -> str:
+        proximity = getattr(self.proximity, "name", None) or type(self.proximity).__name__
+        return (
+            f"SEGEmbTrainer(proximity={proximity!r}, "
+            f"negative_sampling={self.negative_sampling!r}, "
+            f"embedding_dim={self.config.embedding_dim})"
         )

@@ -47,3 +47,7 @@ class EvaluationError(ReproError):
 
 class OrchestrationError(ReproError):
     """Raised when an experiment sweep cannot be expanded or executed."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a persisted model artifact is missing, foreign or corrupt."""

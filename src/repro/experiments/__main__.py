@@ -22,7 +22,9 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from ..exceptions import ConfigurationError
 from ..graph import available_datasets
+from ..models import available_methods, get_method
 from .ablations import (
     ablation_gradient_normalization,
     ablation_iterate_averaging,
@@ -81,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--paper", action="store_true", help="full paper-scale grid (hours of compute)"
     )
     run.add_argument("--datasets", default=None, help="comma-separated dataset names")
+    run.add_argument(
+        "--methods",
+        default=None,
+        help="comma-separated method names for --figure sweeps "
+        "(see `list` for the registry)",
+    )
     run.add_argument("--repeats", type=int, default=None, help="repetitions per cell")
     run.add_argument("--seed", type=int, default=None, help="master seed")
     run.add_argument("--epochs", type=int, default=None, help="training epochs per run")
@@ -115,6 +123,26 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
+def _parse_methods(raw: str, parser: argparse.ArgumentParser) -> tuple[str, ...]:
+    """Resolve comma-separated method names through the registry.
+
+    Unknown names exit with the registry's full listing and a
+    did-you-mean hint instead of a bare traceback.
+    """
+    methods = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            methods.append(get_method(token).name)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    if not methods:
+        parser.error(f"--methods needs at least one of: {', '.join(available_methods())}")
+    return tuple(methods)
+
+
 def _parse_values(raw: str) -> tuple:
     values = []
     for token in raw.split(","):
@@ -138,6 +166,8 @@ def _run(args: argparse.Namespace) -> int:
         label = f"table {args.table}"
     elif args.figure is not None:
         sweep = _FIGURES[args.figure]
+        if getattr(args, "methods_resolved", None):
+            kwargs["methods"] = args.methods_resolved
         label = f"figure {args.figure}"
     else:
         sweep = _ABLATIONS[args.ablation]
@@ -158,6 +188,7 @@ def _list() -> int:
     print("figures:   " + ", ".join(str(n) for n in sorted(_FIGURES)))
     print("ablations: " + ", ".join(sorted(_ABLATIONS)))
     print("datasets:  " + ", ".join(available_datasets()))
+    print("methods:   " + ", ".join(available_methods()))
     return 0
 
 
@@ -168,6 +199,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _list()
     if args.values and args.table is None:
         parser.error("--values only applies to --table sweeps")
+    if args.methods and args.figure is None:
+        parser.error("--methods only applies to --figure sweeps")
+    args.methods_resolved = _parse_methods(args.methods, parser) if args.methods else None
     return _run(args)
 
 

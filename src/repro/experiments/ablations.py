@@ -52,10 +52,10 @@ __all__ = [
 # --------------------------------------------------------------------- #
 # cell runners (dispatched by the orchestrator's kind registry)
 # --------------------------------------------------------------------- #
-def _run_ablation_cell(spec: RunSpec, make_trainer) -> dict[str, Any]:
-    """Shared cell loop: repeated trainer runs scored on one fixed pair sample.
+def _run_ablation_cell(spec: RunSpec, make_model) -> dict[str, Any]:
+    """Shared cell loop: repeated estimator fits scored on one fixed pair sample.
 
-    ``make_trainer(graph, proximity, rng)`` builds the trainer variant under
+    ``make_model(proximity)`` builds the (unfitted) estimator variant under
     study; everything else — graph/proximity resolution, per-repeat spawned
     training streams, the evaluation stream shared across the cells of one
     graph (common random numbers) — is identical for every ablation kind.
@@ -66,11 +66,10 @@ def _run_ablation_cell(spec: RunSpec, make_trainer) -> dict[str, Any]:
     eval_stream = evaluation_seed_sequence(spec)
     scores = []
     for train_stream in train_streams:
-        trainer = make_trainer(graph, proximity, np.random.default_rng(train_stream))
-        result = trainer.train()
+        model = make_model(proximity).fit(graph, rng=np.random.default_rng(train_stream))
         scores.append(
             structural_equivalence_score(
-                graph, result.embeddings, seed=np.random.default_rng(eval_stream)
+                graph, model.embeddings_, seed=np.random.default_rng(eval_stream)
             )
         )
     summary = summarize_runs(scores)
@@ -90,29 +89,27 @@ def run_private_cell(spec: RunSpec) -> dict[str, Any]:
     """
     trainer_kwargs = dict(spec.options)
 
-    def make_trainer(graph, proximity, rng):
+    def make_model(proximity):
         return SEPrivGEmbTrainer(
-            graph,
-            proximity,
+            proximity=proximity,
             training_config=spec.training,
             privacy_config=spec.privacy,
-            seed=rng,
             **trainer_kwargs,
         )
 
-    return _run_ablation_cell(spec, make_trainer)
+    return _run_ablation_cell(spec, make_model)
 
 
 def run_negative_sampling_cell(spec: RunSpec) -> dict[str, Any]:
     """One ``ablation_negative_sampling`` cell: non-private SE-GEmb runs."""
     sampling = str(spec.option("negative_sampling", "proximity"))
 
-    def make_trainer(graph, proximity, rng):
+    def make_model(proximity):
         return SEGEmbTrainer(
-            graph, proximity, config=spec.training, negative_sampling=sampling, seed=rng
+            proximity=proximity, config=spec.training, negative_sampling=sampling
         )
 
-    return _run_ablation_cell(spec, make_trainer)
+    return _run_ablation_cell(spec, make_model)
 
 
 # --------------------------------------------------------------------- #

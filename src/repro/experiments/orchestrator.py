@@ -42,8 +42,9 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from ..config import PrivacyConfig, TrainingConfig
-from ..exceptions import OrchestrationError
+from ..exceptions import ConfigurationError, OrchestrationError
 from ..graph import Graph, load_dataset
+from ..models import get_method
 from ..utils.logging import get_logger
 from .store import RunStore
 
@@ -152,11 +153,26 @@ class RunSpec:
     metric: str = "strucequ"
 
     # ------------------------------------------------------------------ #
+    def _method_payload(self) -> Any:
+        """Structured method description for the content fingerprint.
+
+        Registered methods contribute their full
+        :meth:`~repro.models.MethodSpec.fingerprint_payload` — trainer
+        class, proximity factory, perturbation, privacy flag — so a method
+        whose *definition* changes invalidates stored cells even when its
+        label stays the same.  Unregistered labels (ablation variants, the
+        synthetic "sleep" payload) fall back to the plain string.
+        """
+        try:
+            return get_method(self.method).fingerprint_payload()
+        except ConfigurationError:
+            return self.method
+
     def describe(self) -> dict[str, Any]:
         """Canonical JSON-able description of everything result-relevant."""
         return {
             "kind": self.kind,
-            "method": self.method,
+            "method": self._method_payload(),
             "dataset": self.dataset,
             "dataset_scale": self.dataset_scale,
             "dataset_num_nodes": self.dataset_num_nodes,
@@ -181,14 +197,20 @@ class RunSpec:
 
         Cells sharing a group key are dispatched to the same worker chunk,
         so each process loads the dataset and warms the proximity cache
-        once per group rather than once per cell.
+        once per group rather than once per cell.  The proximity label
+        comes from the method registry (structured field, not name
+        parsing); unregistered labels group as ``"none"``.
         """
-        if self.method.endswith("_dw"):
-            proximity = f"deepwalk:{self.deepwalk_window}"
-        elif self.method.endswith("_deg"):
-            proximity = "degree"
-        else:
+        try:
+            spec = get_method(self.method)
+        except ConfigurationError:
+            spec = None
+        if spec is None or spec.proximity is None:
             proximity = "none"
+        elif spec.proximity == "deepwalk":
+            proximity = f"deepwalk:{self.deepwalk_window}"
+        else:
+            proximity = spec.proximity
         return (self.dataset_fingerprint or self.dataset, proximity)
 
     def with_updates(self, **kwargs: Any) -> "RunSpec":

@@ -1,92 +1,112 @@
 """The method runner: map a method name + graph + budget to embeddings and scores.
 
 This is the glue between the library and the table/figure reproductions.
-``embed_with_method`` dispatches over the eight methods of the paper's
-evaluation:
+``embed_with_method`` resolves a method name through the declarative
+registry (:mod:`repro.models.registry`) — the eight methods of the paper's
+evaluation are registered there:
 
 * ``se_privgemb_dw`` / ``se_privgemb_deg`` — the proposed method with the
   DeepWalk / degree proximity,
 * ``se_gemb_dw`` / ``se_gemb_deg`` — their non-private counterparts,
 * ``dpggan``, ``dpgvae``, ``gap``, ``progap`` — the DP baselines.
+
+Dispatch itself is two lines — build the registered estimator, fit it —
+and new methods become registry entries instead of new branches here.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Any
+
 import numpy as np
 
 from ..config import PrivacyConfig, TrainingConfig
-from ..baselines import get_baseline
 from ..evaluation import (
     link_prediction_auc,
     make_link_prediction_split,
     structural_equivalence_score,
 )
-from ..exceptions import ConfigurationError
-from ..embedding import SEGEmbTrainer, SEPrivGEmbTrainer
 from ..graph import Graph
-from ..proximity import DeepWalkProximity, DegreeProximity, compute_proximity
+from ..models import Embedder, available_methods, get_method
 from ..proximity.base import ProximityMatrix
-from ..proximity.cache import ProximityCache
+from ..proximity.cache import ProximityCache, resolve_cache_policy
 from ..utils.rng import repeat_streams
 from ..utils.stats import summarize_runs
 
 __all__ = [
-    "METHOD_NAMES",
     "embed_with_method",
     "evaluate_structural_equivalence",
     "evaluate_link_prediction",
+    "is_private_method",
 ]
 
-METHOD_NAMES: tuple[str, ...] = (
-    "se_privgemb_dw",
-    "se_privgemb_deg",
-    "se_gemb_dw",
-    "se_gemb_deg",
-    "dpggan",
-    "dpgvae",
-    "gap",
-    "progap",
-)
+def __getattr__(name: str):
+    # METHOD_NAMES predates the registry; keep imports of it working while
+    # steering callers to available_methods()
+    if name == "METHOD_NAMES":
+        warnings.warn(
+            "repro.experiments.runner.METHOD_NAMES is deprecated; use "
+            "repro.models.available_methods()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return tuple(available_methods())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-_PRIVATE_METHODS = {"se_privgemb_dw", "se_privgemb_deg", "dpggan", "dpgvae", "gap", "progap"}
-_SE_METHODS = {"se_privgemb_dw", "se_privgemb_deg", "se_gemb_dw", "se_gemb_deg"}
 
+def _coerce_cache_policy(policy: Any, *, legacy_none: str) -> "str | ProximityCache":
+    """Translate legacy cache arguments onto the explicit contract.
 
-def _proximity_for(method: str, deepwalk_window: int = 5):
-    if method.endswith("_dw"):
-        return DeepWalkProximity(window_size=deepwalk_window)
-    if method.endswith("_deg"):
-        return DegreeProximity()
-    raise ConfigurationError(f"method {method!r} has no proximity suffix")
+    The explicit contract is ``"default"`` / ``"off"`` / a
+    :class:`ProximityCache` instance.  ``None`` and booleans are the
+    pre-redesign overloads: ``None`` meant whatever the call site's old
+    default was (passed in as ``legacy_none``), ``False`` meant bypass and
+    ``True`` the default cache — all accepted with a
+    :class:`DeprecationWarning`.
+    """
+    if isinstance(policy, ProximityCache) or policy in ("default", "off"):
+        return policy
+    if policy is None:
+        warnings.warn(
+            "proximity_cache=None is deprecated; pass 'default', 'off', or a "
+            "ProximityCache instance",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return legacy_none
+    if isinstance(policy, bool):
+        warnings.warn(
+            "boolean proximity_cache values are deprecated; pass 'off' instead of "
+            "False and 'default' instead of True",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "default" if policy else "off"
+    # invalid values fall through to resolve_cache_policy's error
+    return policy
 
 
 def _resolve_proximity(
-    method: str,
+    spec,
     graph: Graph,
     proximity: ProximityMatrix | None,
     deepwalk_window: int,
-    proximity_cache: "ProximityCache | None | bool",
-) -> ProximityMatrix:
+    proximity_cache: "str | ProximityCache",
+) -> ProximityMatrix | None:
     """Precomputed matrix if given, otherwise the (possibly cached) compute.
 
-    ``proximity_cache`` is tri-state: a :class:`ProximityCache` routes the
-    computation through that cache, ``None`` uses the process-wide default
-    cache, and ``False`` bypasses caching entirely (the matrix lives only
-    as long as its consumer — the right choice for one-shot embeds of
-    large graphs or throwaway split graphs).
+    Returns ``None`` for methods without a proximity (the baselines).
     """
+    if spec.proximity is None:
+        return None
     if proximity is not None:
         return proximity
-    measure = _proximity_for(method, deepwalk_window)
-    if proximity_cache is False:
+    measure = spec.make_proximity(deepwalk_window=deepwalk_window)
+    cache = resolve_cache_policy(proximity_cache)
+    if cache is None:
         return measure.compute(graph)
-    # compute_proximity is the one cache front door (None -> default cache);
-    # NB: an empty ProximityCache is falsy (len 0), so pass it verbatim
-    return compute_proximity(
-        measure,
-        graph,
-        cache=proximity_cache if isinstance(proximity_cache, ProximityCache) else None,
-    )
+    return cache.get_or_compute(measure, graph)
 
 
 def embed_with_method(
@@ -95,17 +115,18 @@ def embed_with_method(
     training: TrainingConfig,
     privacy: PrivacyConfig,
     seed: int | np.random.Generator | None = None,
-    perturbation: str = "nonzero",
+    perturbation: str | None = None,
     proximity: ProximityMatrix | None = None,
     deepwalk_window: int = 5,
-    proximity_cache: ProximityCache | None | bool = None,
-) -> np.ndarray:
+    proximity_cache: "str | ProximityCache" = "default",
+    return_model: bool = False,
+) -> np.ndarray | Embedder:
     """Produce an embedding matrix for ``graph`` with the named method.
 
     Parameters
     ----------
     method:
-        One of :data:`METHOD_NAMES`.
+        A registered method name (see :func:`repro.models.available_methods`).
     graph:
         The (training) graph.
     training / privacy:
@@ -114,54 +135,49 @@ def embed_with_method(
         Seed or generator for the run.
     perturbation:
         Perturbation strategy for the SE-PrivGEmb variants ("nonzero" or
-        "naive"); ignored by every other method.
+        "naive"); ``None`` (default) uses the registered spec's own
+        default.  Ignored by every method without one.
     proximity:
         Optional precomputed proximity matrix for the SE methods; when
-        omitted the matrix is fetched through the proximity cache, so
+        omitted the matrix is resolved through ``proximity_cache``, so
         repeated sweeps over the same graph never recompute it.  Ignored by
         the baselines.
     deepwalk_window:
-        Window size ``T`` of the DeepWalk proximity used by the ``*_dw``
-        methods when ``proximity`` is not supplied.
+        Window size ``T`` of the DeepWalk proximity, for methods whose
+        registered proximity is the truncated DeepWalk measure.
     proximity_cache:
-        Cache to route proximity computation through; ``None`` uses the
-        process-wide default cache, ``False`` disables caching so the
-        matrix is freed with the trainer (one-shot embeds of large
-        graphs).
+        ``"default"`` (process-wide cache), ``"off"`` (compute ephemerally
+        — the right choice for one-shot embeds of large graphs or throwaway
+        split graphs), or an explicit
+        :class:`~repro.proximity.cache.ProximityCache`.  The old ``None`` /
+        ``False`` / ``True`` overloads are accepted with a
+        :class:`DeprecationWarning`.
+    return_model:
+        When ``True``, return the fitted :class:`~repro.models.Embedder`
+        (with ``embeddings_``, ``result_`` incl. privacy spent, and
+        ``save()``) instead of the bare embedding matrix.
     """
-    key = method.strip().lower()
-    if key not in METHOD_NAMES:
-        raise ConfigurationError(
-            f"unknown method {method!r}; available: {', '.join(METHOD_NAMES)}"
-        )
-
-    if key in {"se_privgemb_dw", "se_privgemb_deg"}:
-        trainer = SEPrivGEmbTrainer(
-            graph,
-            _resolve_proximity(key, graph, proximity, deepwalk_window, proximity_cache),
-            training_config=training,
-            privacy_config=privacy,
-            perturbation=perturbation,
-            seed=seed,
-        )
-        return trainer.train().embeddings
-
-    if key in {"se_gemb_dw", "se_gemb_deg"}:
-        trainer = SEGEmbTrainer(
-            graph,
-            _resolve_proximity(key, graph, proximity, deepwalk_window, proximity_cache),
-            config=training,
-            seed=seed,
-        )
-        return trainer.train().embeddings
-
-    baseline = get_baseline(key, training_config=training, privacy_config=privacy, seed=seed)
-    return baseline.fit(graph)
+    spec = get_method(method)
+    proximity_cache = _coerce_cache_policy(proximity_cache, legacy_none="default")
+    model = spec.build(
+        training=training,
+        privacy=privacy,
+        # None falls through to the spec's declared default inside build()
+        perturbation=perturbation,
+        deepwalk_window=deepwalk_window,
+        proximity_cache=proximity_cache,
+        seed=seed,
+    )
+    if spec.proximity is not None:
+        model.fit(graph, proximity=proximity)
+    else:
+        model.fit(graph)
+    return model if return_model else model.embeddings_
 
 
 def is_private_method(method: str) -> bool:
     """Return ``True`` if the method consumes the privacy budget."""
-    return method.strip().lower() in _PRIVATE_METHODS
+    return get_method(method).private
 
 
 def evaluate_structural_equivalence(
@@ -171,9 +187,9 @@ def evaluate_structural_equivalence(
     privacy: PrivacyConfig,
     repeats: int = 3,
     seed: int | np.random.SeedSequence = 0,
-    perturbation: str = "nonzero",
+    perturbation: str | None = None,
     deepwalk_window: int = 5,
-    proximity_cache: ProximityCache | None | bool = None,
+    proximity_cache: "str | ProximityCache" = "default",
     evaluation_seed: int | np.random.SeedSequence | None = None,
 ) -> tuple[float, float]:
     """Mean ± SD StrucEqu of a method over repeated runs on one graph.
@@ -194,12 +210,9 @@ def evaluate_structural_equivalence(
     numbers — cross-cell comparisons are not blurred by sampling noise
     either).
     """
-    key = method.strip().lower()
-    proximity = (
-        _resolve_proximity(key, graph, None, deepwalk_window, proximity_cache)
-        if key in _SE_METHODS
-        else None
-    )
+    spec = get_method(method)
+    proximity_cache = _coerce_cache_policy(proximity_cache, legacy_none="default")
+    proximity = _resolve_proximity(spec, graph, None, deepwalk_window, proximity_cache)
     train_streams, eval_stream = repeat_streams(seed, repeats)
     if evaluation_seed is not None:
         eval_stream = (
@@ -238,9 +251,9 @@ def evaluate_link_prediction(
     privacy: PrivacyConfig,
     repeats: int = 3,
     seed: int | np.random.SeedSequence = 0,
-    perturbation: str = "nonzero",
+    perturbation: str | None = None,
     deepwalk_window: int = 5,
-    proximity_cache: ProximityCache | None | bool = None,
+    proximity_cache: "str | ProximityCache" = "off",
 ) -> tuple[float, float]:
     """Mean ± SD link-prediction AUC of a method over repeated runs on one graph.
 
@@ -251,27 +264,23 @@ def evaluate_link_prediction(
     the split permutation and the weight initialisation draw from
     identical generators).
 
-    Split graphs are throwaway — a new one per repeat — so their proximity
-    matrices are computed ephemerally and freed with the repeat rather than
-    routed into the process-wide default cache, where a large split matrix
-    would stay pinned for the process lifetime.  Pass an explicit
-    ``proximity_cache`` to opt into caching them (e.g. when sweeping
-    several ε values over the same seeds and splits).
+    Split graphs are throwaway — a new one per repeat — so caching defaults
+    to ``"off"``: their proximity matrices are computed ephemerally and
+    freed with the repeat rather than pinned in the process-wide default
+    cache for the process lifetime.  Pass ``"default"`` or an explicit
+    :class:`~repro.proximity.cache.ProximityCache` to opt into caching them
+    (e.g. when sweeping several ε values over the same seeds and splits).
     """
-    key = method.strip().lower()
-    # throwaway split graphs default to the uncached path (False), not the
-    # process-wide default cache — an explicit cache is still honoured
-    split_cache = proximity_cache if proximity_cache is not None else False
+    spec = get_method(method)
+    proximity_cache = _coerce_cache_policy(proximity_cache, legacy_none="off")
     train_streams, _ = repeat_streams(seed, repeats)
     scores = []
     for train_stream in train_streams:
         split_stream, embed_stream = train_stream.spawn(2)
         split = make_link_prediction_split(graph, seed=np.random.default_rng(split_stream))
-        proximity = None
-        if key in _SE_METHODS:
-            proximity = _resolve_proximity(
-                key, split.training_graph, None, deepwalk_window, split_cache
-            )
+        proximity = _resolve_proximity(
+            spec, split.training_graph, None, deepwalk_window, proximity_cache
+        )
         embeddings = embed_with_method(
             method,
             split.training_graph,

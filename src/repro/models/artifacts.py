@@ -1,0 +1,106 @@
+"""Persistable model artifacts: one ``.npz`` file = arrays + JSON metadata.
+
+A fitted :class:`~repro.models.Embedder` is published as a single ``.npz``
+archive carrying
+
+* the embedding matrices (``embeddings``, optionally
+  ``context_embeddings``) exactly as trained — float64 arrays round-trip
+  bit-exactly, so a loaded model scores identically to the one that was
+  saved, and
+* one JSON document (stored under the reserved ``__metadata__`` key)
+  describing everything needed to reconstruct and trust the model: the
+  method-registry spec, the training/privacy configurations, the dataset
+  and proximity content fingerprints, the losses, and the privacy actually
+  spent.
+
+Writes go through :func:`repro.utils.fileio.atomic_write_path`, the same
+temp-then-rename discipline as the proximity cache and the run store, so
+concurrent writers never publish a torn file.  ``allow_pickle`` stays off
+on both ends: artifacts are plain data, never code.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..exceptions import ArtifactError
+from ..utils.fileio import atomic_write_path
+
+__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "load_artifact", "save_artifact"]
+
+#: identifies our archives among arbitrary ``.npz`` files
+ARTIFACT_FORMAT = "repro.models.embedder"
+#: bumped on breaking layout changes; old readers reject newer files cleanly
+ARTIFACT_VERSION = 1
+
+#: reserved array key holding the JSON metadata document
+_METADATA_KEY = "__metadata__"
+
+
+def save_artifact(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    metadata: Mapping[str, Any],
+) -> Path:
+    """Atomically write ``arrays`` + ``metadata`` as one ``.npz`` artifact.
+
+    The ``format`` / ``format_version`` envelope fields are stamped here so
+    every artifact is self-identifying regardless of which caller built the
+    metadata.
+    """
+    path = Path(path)
+    if _METADATA_KEY in arrays:
+        raise ArtifactError(f"array name {_METADATA_KEY!r} is reserved for metadata")
+    for name, array in arrays.items():
+        if not isinstance(array, np.ndarray):
+            raise ArtifactError(
+                f"artifact array {name!r} must be a numpy array, got {type(array).__name__}"
+            )
+    envelope = {"format": ARTIFACT_FORMAT, "format_version": ARTIFACT_VERSION, **metadata}
+    document = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with atomic_write_path(path) as tmp_path:
+        # np.savez appends ".npz" to bare *filenames*; an open handle is
+        # written verbatim, keeping the atomic temp-name contract intact
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **{_METADATA_KEY: np.array(document), **dict(arrays)})
+    return path
+
+
+def load_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Read an artifact back as ``(arrays, metadata)``.
+
+    Raises :class:`~repro.exceptions.ArtifactError` for missing files,
+    foreign ``.npz`` archives, corrupt metadata, or artifacts written by a
+    newer format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no model artifact at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _METADATA_KEY not in archive.files:
+                raise ArtifactError(
+                    f"{path} is a .npz archive but not a {ARTIFACT_FORMAT} artifact "
+                    "(no metadata entry)"
+                )
+            try:
+                metadata = json.loads(str(archive[_METADATA_KEY][()]))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ArtifactError(f"corrupt metadata in {path}: {exc}") from exc
+            arrays = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
+    if not isinstance(metadata, dict) or metadata.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(f"{path} does not contain a {ARTIFACT_FORMAT} artifact")
+    version = metadata.get("format_version")
+    if not isinstance(version, int) or version > ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path} has artifact version {version!r}; this build reads <= {ARTIFACT_VERSION}"
+        )
+    return arrays, metadata

@@ -32,14 +32,19 @@ from pathlib import Path
 import numpy as np
 from scipy import sparse as _sp
 
-from ..exceptions import ProximityError
+from ..exceptions import ConfigurationError, ProximityError
 from ..graph import Graph
 from ..graph.graph import graph_content_fingerprint
 from ..utils.fileio import atomic_write_path, tmp_file_pattern
 from ..utils.logging import get_logger
 from .base import ProximityMatrix, ProximityMeasure
 
-__all__ = ["graph_fingerprint", "ProximityCache", "default_proximity_cache"]
+__all__ = [
+    "graph_fingerprint",
+    "ProximityCache",
+    "default_proximity_cache",
+    "resolve_cache_policy",
+]
 
 _LOGGER = get_logger("proximity.cache")
 
@@ -333,3 +338,31 @@ def default_proximity_cache() -> ProximityCache:
     if _DEFAULT_CACHE is None:
         _DEFAULT_CACHE = ProximityCache()
     return _DEFAULT_CACHE
+
+
+def resolve_cache_policy(policy) -> ProximityCache | None:
+    """Resolve an explicit proximity-cache policy to a cache (or bypass).
+
+    The contract is three-valued: ``"default"`` routes through the
+    process-wide cache, ``"off"`` bypasses caching entirely (returns
+    ``None``), and a :class:`ProximityCache` instance is used as-is.
+    Anything else — including the pre-redesign ``None``/``False``/``True``
+    overloads, which only the experiment runner shims (they never existed
+    on the trainer constructors) — is rejected with
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    if isinstance(policy, ProximityCache):
+        return policy
+    if not isinstance(policy, str):  # bool/None must not match the str branches
+        raise ConfigurationError(
+            "proximity_cache must be 'default', 'off', or a ProximityCache instance; "
+            f"got {policy!r}"
+        )
+    if policy == "default":
+        return default_proximity_cache()
+    if policy == "off":
+        return None
+    raise ConfigurationError(
+        "proximity_cache must be 'default', 'off', or a ProximityCache instance; "
+        f"got {policy!r}"
+    )

@@ -10,7 +10,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
+
 __all__ = ["ensure_rng", "spawn_rngs", "repeat_streams"]
+
+#: types accepted wherever the library takes a ``seed`` parameter
+_SEED_TYPES = "an int, a numpy.random.Generator, a numpy.random.SeedSequence, or None"
+
+
+def _reject_bad_seed(seed: object) -> None:
+    """Raise :class:`ConfigurationError` naming the offending seed type.
+
+    Without this, a string or float seed survives until numpy's
+    ``SeedSequence`` rejects it several frames deep with a bare
+    ``TypeError`` that never mentions which trainer parameter was wrong.
+    """
+    raise ConfigurationError(
+        f"seed must be {_SEED_TYPES}; got {type(seed).__name__}: {seed!r}"
+    )
 
 
 def ensure_rng(
@@ -23,11 +40,15 @@ def ensure_rng(
     seed:
         ``None`` for a non-deterministic generator, an ``int`` seed, a
         :class:`numpy.random.SeedSequence`, or an existing ``Generator``
-        (returned unchanged).
+        (returned unchanged).  Anything else raises
+        :class:`~repro.exceptions.ConfigurationError` naming the offending
+        type, instead of failing deep inside numpy.
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    _reject_bad_seed(seed)
 
 
 def repeat_streams(
@@ -56,8 +77,10 @@ def repeat_streams(
     elif isinstance(seed, np.random.Generator):
         # derive entropy from the generator so callers may pass one through
         base = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
-    else:
+    elif seed is None or isinstance(seed, (int, np.integer)):
         base = np.random.SeedSequence(seed)
+    else:
+        _reject_bad_seed(seed)
     children = base.spawn(repeats + 1)
     return children[:repeats], children[repeats]
 

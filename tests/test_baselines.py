@@ -30,9 +30,11 @@ class TestRegistry:
 
 @pytest.mark.parametrize("cls", [DPGGAN, DPGVAE, GAP, ProGAP], ids=lambda c: c.name)
 class TestCommonBehaviour:
-    def test_fit_returns_correct_shape(self, cls, small_graph):
+    def test_fit_returns_self_with_correct_shape(self, cls, small_graph):
         baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
-        embeddings = baseline.fit(small_graph)
+        fitted = baseline.fit(small_graph)
+        assert fitted is baseline  # estimator protocol: fit returns self
+        embeddings = fitted.embeddings_
         assert embeddings.shape == (small_graph.num_nodes, FAST.embedding_dim)
         assert np.all(np.isfinite(embeddings))
 
@@ -40,26 +42,37 @@ class TestCommonBehaviour:
         baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
         baseline.fit(small_graph)
         assert baseline.embeddings.shape[0] == small_graph.num_nodes
+        np.testing.assert_array_equal(baseline.embeddings, baseline.embeddings_)
 
     def test_embeddings_before_fit_raises(self, cls):
         baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
         with pytest.raises(TrainingError):
             _ = baseline.embeddings
+        with pytest.raises(TrainingError):
+            _ = baseline.embeddings_
 
     def test_deterministic_given_seed(self, cls, small_graph):
-        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit(small_graph)
-        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit(small_graph)
+        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit_transform(small_graph)
+        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=7).fit_transform(small_graph)
         np.testing.assert_allclose(a, b)
 
     def test_different_seeds_differ(self, cls, small_graph):
-        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=1).fit(small_graph)
-        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=2).fit(small_graph)
+        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=1).fit_transform(small_graph)
+        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=2).fit_transform(small_graph)
         assert not np.allclose(a, b)
 
-    def test_fit_transform_alias(self, cls, small_graph):
+    def test_fit_transform_returns_matrix(self, cls, small_graph):
         baseline = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
         embeddings = baseline.fit_transform(small_graph)
         assert embeddings.shape[0] == small_graph.num_nodes
+
+    def test_fit_rng_override(self, cls, small_graph):
+        a = cls(training_config=FAST, privacy_config=PRIVACY, seed=0)
+        b = cls(training_config=FAST, privacy_config=PRIVACY, seed=999)
+        np.testing.assert_allclose(
+            a.fit(small_graph, rng=np.random.default_rng(5)).embeddings_,
+            b.fit(small_graph, rng=np.random.default_rng(5)).embeddings_,
+        )
 
 
 class TestAggregationPerturbationCalibration:

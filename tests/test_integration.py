@@ -110,7 +110,7 @@ class TestEndToEndPipeline:
                 privacy_config=privacy,
                 seed=2,
             )
-            baseline_score = structural_equivalence_score(graph, baseline.fit(graph))
+            baseline_score = structural_equivalence_score(graph, baseline.fit_transform(graph))
             assert se_priv_score > baseline_score
 
     def test_privacy_budget_controls_training_length(self, graph, training_config):

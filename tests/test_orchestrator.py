@@ -80,13 +80,72 @@ class TestRunSpec:
         fingerprints = {base.fingerprint()} | {v.fingerprint() for v in variants}
         assert len(fingerprints) == len(variants) + 1
 
+    def test_fingerprint_pin(self):
+        """Content-address stability pin.
+
+        This hash is the RunStore key of a fixed cell.  If it changes,
+        every previously stored sweep result is (intentionally) orphaned —
+        the registry redesign did exactly that once, moving the method
+        field from a plain string to the MethodSpec payload.  Bump the pin
+        only together with a deliberate, documented invalidation.
+        """
+        spec = RunSpec(
+            kind="strucequ",
+            method="se_privgemb_dw",
+            dataset="smallworld",
+            dataset_fingerprint="0" * 64,
+            training=FAST_TRAINING,
+            privacy=FAST_PRIVACY,
+            repeats=1,
+            seed=0,
+        )
+        assert spec.fingerprint() == (
+            "ccca6ec778dc691ec302520c7c9fae4e73427a9e10a198afab2b4efbe3e5a605"
+        )
+
+    def test_fingerprint_hashes_the_method_definition_not_the_label(self):
+        # registered methods contribute their full MethodSpec payload
+        payload = _strucequ_spec().describe()["method"]
+        assert isinstance(payload, dict)
+        assert payload["proximity"] == "degree"
+        assert payload["private"] is True
+        # unregistered labels (ablation variants, sleep cells) stay strings
+        assert _sleep_spec(0).describe()["method"] == "sleep"
+
+    def test_fingerprint_changes_when_method_definition_drifts(self, monkeypatch):
+        from dataclasses import replace
+
+        from repro.models import get_method
+        from repro.models import registry as registry_module
+
+        base = _strucequ_spec()
+        before = base.fingerprint()
+        drifted = replace(get_method("se_privgemb_deg"), perturbation="naive")
+        monkeypatch.setitem(registry_module._REGISTRY, "se_privgemb_deg", drifted)
+        assert base.fingerprint() != before
+
     def test_group_key_by_dataset_and_proximity(self):
         dw = _strucequ_spec(method="se_privgemb_dw")
         deg = _strucequ_spec(method="se_privgemb_deg")
         baseline = _strucequ_spec(method="gap")
         assert dw.group_key() != deg.group_key()
         assert dw.group_key()[0] == deg.group_key()[0] == baseline.group_key()[0]
+        assert dw.group_key()[1] == "deepwalk:5"
+        assert deg.group_key()[1] == "degree"
         assert baseline.group_key()[1] == "none"
+
+    def test_group_key_needs_no_name_suffix(self, monkeypatch):
+        # a registered method named without the _dw/_deg convention still
+        # groups by its structured proximity field
+        from dataclasses import replace
+
+        from repro.models import get_method
+        from repro.models import registry as registry_module
+
+        spec = replace(get_method("se_gemb_deg"), name="my_custom_method")
+        monkeypatch.setitem(registry_module._REGISTRY, "my_custom_method", spec)
+        cell = _strucequ_spec(method="my_custom_method")
+        assert cell.group_key()[1] == "degree"
 
     def test_evaluation_stream_shared_across_cells_of_one_graph(self):
         # cross-cell comparisons use common random numbers: every cell on
@@ -254,3 +313,51 @@ class TestCommandLine:
         )
         assert proc.returncode == 0, proc.stderr
         assert "tables" in proc.stdout and "smallworld" in proc.stdout
+        assert "se_privgemb_dw" in proc.stdout  # registry methods are listed
+
+    def test_cli_unknown_method_lists_registry_with_hint(self):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "run",
+                "--figure",
+                "3",
+                "--smoke",
+                "--methods",
+                "se_privgemb_dvv",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert proc.returncode != 0
+        assert "did you mean 'se_privgemb_dw'" in proc.stderr
+        assert "available: se_privgemb_dw" in proc.stderr
+
+    def test_cli_methods_rejected_outside_figures(self):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "run",
+                "--table",
+                "2",
+                "--smoke",
+                "--methods",
+                "gap",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert proc.returncode != 0
+        assert "--methods only applies to --figure sweeps" in proc.stderr
