@@ -39,6 +39,13 @@ class BaselineEmbedder(Embedder):
         may ignore it.
     seed:
         Seed or generator controlling all randomness of the method.
+    compute_dtype:
+        Dtype of the *published* embedding matrix (``"float32"`` or
+        ``"float64"``, default float64).  The baselines' internal training
+        math stays float64 — unlike the SE trainers they have no float32
+        compute path — so a float32 baseline is the float64 result rounded
+        at release, which keeps the estimator surface uniform across all
+        eight registered methods.
     """
 
     #: registry key; subclasses override.
@@ -49,12 +56,16 @@ class BaselineEmbedder(Embedder):
         training_config: TrainingConfig | None = None,
         privacy_config: PrivacyConfig | None = None,
         seed: int | np.random.Generator | None = None,
+        compute_dtype="float64",
     ) -> None:
         super().__init__()
+        from ..engine.workspace import resolve_compute_dtype
+
         self.training_config = training_config or TrainingConfig()
         self.privacy_config = privacy_config or PrivacyConfig()
         self._seed = seed
         self._rng = ensure_rng(seed)
+        self.compute_dtype = resolve_compute_dtype(compute_dtype)
 
     # ------------------------------------------------------------------ #
     def _fit_rng(self) -> np.random.Generator:
@@ -129,7 +140,7 @@ class BaselineEmbedder(Embedder):
 
     def _store(self, embeddings: np.ndarray) -> np.ndarray:
         """Validate, cache and return the embedding matrix."""
-        embeddings = np.asarray(embeddings, dtype=float)
+        embeddings = np.asarray(embeddings, dtype=self.compute_dtype)
         if embeddings.ndim != 2:
             raise TrainingError(
                 f"embeddings must be 2-D, got shape {embeddings.shape}"

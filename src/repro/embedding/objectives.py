@@ -36,6 +36,12 @@ __all__ = [
     "StructurePreferenceObjective",
 ]
 
+# Mirrors the exp() clamp inside utils.math.sigmoid: at |score| = 35 the
+# sigmoid saturates to within 1e-15 of {0, 1}, so clamping the workspace
+# score buffer in place is numerically indistinguishable from the default
+# path while keeping every exp() finite in float32 as well.
+_SCORE_CLAMP = 35.0
+
 
 @dataclass
 class PairGradients:
@@ -231,6 +237,8 @@ class StructurePreferenceObjective:
         w_in: np.ndarray,
         w_out: np.ndarray,
         batch: SubgraphBatch | Sequence[EdgeSubgraph],
+        *,
+        workspace=None,
     ) -> BatchGradients:
         """Eq. (7) / Eq. (8) gradients of a whole batch in one vectorized pass.
 
@@ -239,11 +247,20 @@ class StructurePreferenceObjective:
         ``B`` Python-level matvecs.  The per-example losses are returned on
         the :class:`BatchGradients` (they fall out of the same scores), so
         callers never pay a second loss pass.
+
+        With ``workspace`` (a :class:`~repro.engine.StepWorkspace`) the
+        whole pass runs through preallocated buffers — gathers with
+        ``np.take(out=)``, contractions with ``einsum(out=)``, losses and
+        errors through in-place ufunc chains — and the returned
+        :class:`BatchGradients` is the workspace's reused view.  The batch
+        must carry pre-bound proximity weights in that mode.
         """
+        if workspace is not None:
+            return self._batch_gradients_into(w_in, w_out, batch, workspace)
         batch, weights = self._resolve_batch(batch)
         center_vecs, context_vecs, scores = self._batch_scores(w_in, w_out, batch)
 
-        errors = np.asarray(sigmoid(scores), dtype=float)  # fresh array, safe to mutate
+        errors = np.asarray(sigmoid(scores))  # fresh array, safe to mutate
         errors[:, 0] -= 1.0  # column 0 is the positive v_j: indicator 1
         errors *= weights[:, None]
 
@@ -257,6 +274,66 @@ class StructurePreferenceObjective:
             context_gradients=context_gradients,
             losses=self._batch_losses(scores, weights),
         )
+
+    def _batch_gradients_into(
+        self, w_in: np.ndarray, w_out: np.ndarray, batch: SubgraphBatch, workspace
+    ) -> BatchGradients:
+        """The allocation-free gradient pass of the fast path.
+
+        Every array below is a preallocated workspace buffer; the only
+        heap traffic is Python object overhead.  The math is the same as
+        the default path up to floating-point evaluation order (the losses
+        sum all ``1+k`` log-sigmoids in one row pass instead of positive
+        and negatives separately).
+        """
+        ws = workspace
+        if not isinstance(batch, SubgraphBatch) or batch.weights is None:
+            raise TrainingError(
+                "the workspace fast path needs a SubgraphBatch with pre-bound "
+                "proximity weights (bind them once on the pool)"
+            )
+        ws.validate_batch(batch)
+        weights = batch.weights
+        if batch is not ws.batch:
+            # the returned BatchGradients views ws.centers / ws.contexts, so
+            # a foreign batch must be mirrored into the workspace buffers
+            np.copyto(ws.centers, batch.centers)
+            np.copyto(ws.contexts, batch.contexts)
+
+        np.take(w_in, ws.centers, axis=0, out=ws.center_vecs, mode="clip")
+        np.take(w_out, ws.contexts_flat, axis=0, out=ws.context_vecs_flat, mode="clip")
+        np.einsum("bkr,br->bk", ws.context_vecs, ws.center_vecs, out=ws.scores)
+        np.clip(ws.scores, -_SCORE_CLAMP, _SCORE_CLAMP, out=ws.scores)
+
+        # losses: -w * Σ_k log σ(t_k) with t_0 = s_0 and t_n = -s_n, using
+        # log σ(t) = min(t, 0) - log1p(exp(-|t|))   (|t| = |s| either way)
+        softplus = ws.loss_scratch_a
+        signed = ws.loss_scratch_b
+        np.abs(ws.scores, out=softplus)
+        np.negative(softplus, out=softplus)
+        np.exp(softplus, out=softplus)
+        np.log1p(softplus, out=softplus)
+        np.negative(ws.scores, out=signed)
+        signed[:, 0] = ws.scores[:, 0]
+        np.minimum(signed, 0.0, out=signed)
+        np.subtract(signed, softplus, out=signed)
+        np.sum(signed, axis=1, out=ws.losses)
+        np.multiply(ws.losses, weights, out=ws.losses)
+        np.negative(ws.losses, out=ws.losses)
+
+        # errors = w * (σ(s) - indicator), computed in place
+        errors = ws.errors
+        np.negative(ws.scores, out=errors)
+        np.exp(errors, out=errors)
+        np.add(errors, 1.0, out=errors)
+        np.reciprocal(errors, out=errors)
+        errors[:, 0] -= 1.0
+        weights_col = ws.weights_col if weights is ws.weights else weights[:, None]
+        np.multiply(errors, weights_col, out=errors)
+
+        np.einsum("bk,bkr->br", errors, ws.context_vecs, out=ws.center_gradients)
+        np.multiply(ws.errors_col, ws.center_vecs_mid, out=ws.context_gradients)
+        return ws.gradients
 
     def batch_loss(
         self,

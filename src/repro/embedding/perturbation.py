@@ -51,12 +51,14 @@ def _segment_sum(
     Equivalent to ``np.add.at(out, segment_ids, values)`` (same sequential
     accumulation order, hence bitwise-identical sums) but implemented with a
     single flat ``np.bincount``, which is dramatically faster for the
-    thousands of small rows a training batch touches.
+    thousands of small rows a training batch touches.  The sums are
+    accumulated in float64 (bincount's native dtype) and returned in the
+    dtype of ``values`` so float32 compute runs stay float32 end to end.
     """
     dim = values.shape[1]
     flat_idx = (segment_ids[:, None] * dim + np.arange(dim)).ravel()
     flat = np.bincount(flat_idx, weights=values.ravel(), minlength=num_segments * dim)
-    return flat.reshape(num_segments, dim)
+    return flat.reshape(num_segments, dim).astype(values.dtype, copy=False)
 
 
 @dataclass
@@ -146,7 +148,7 @@ class SparsePerturbedBatchGradients:
 
     # ----------------------- dense compatibility ---------------------- #
     def _densify(self, rows: np.ndarray, values: np.ndarray) -> np.ndarray:
-        dense = np.zeros((self.num_nodes, values.shape[1]))
+        dense = np.zeros((self.num_nodes, values.shape[1]), dtype=values.dtype)
         dense[rows] = values
         return dense
 
@@ -163,14 +165,14 @@ class SparsePerturbedBatchGradients:
     @property
     def w_in_counts(self) -> np.ndarray:
         """Dense per-row example counts for ``W_in``."""
-        counts = np.zeros(self.num_nodes)
+        counts = np.zeros(self.num_nodes, dtype=self.w_in_row_counts.dtype)
         counts[self.w_in_rows] = self.w_in_row_counts
         return counts
 
     @property
     def w_out_counts(self) -> np.ndarray:
         """Dense per-row example counts for ``W_out``."""
-        counts = np.zeros(self.num_nodes)
+        counts = np.zeros(self.num_nodes, dtype=self.w_out_row_counts.dtype)
         counts[self.w_out_rows] = self.w_out_row_counts
         return counts
 
@@ -296,6 +298,8 @@ class PerturbationStrategy(abc.ABC):
         batch_gradients: BatchGradients,
         num_nodes: int,
         embedding_dim: int,
+        *,
+        workspace=None,
     ) -> PerturbedBatchGradients | SparsePerturbedBatchGradients:
         """Vectorized :meth:`perturb`: clip → aggregate → noise, no Python loop.
 
@@ -304,20 +308,27 @@ class PerturbationStrategy(abc.ABC):
         ``(k+1)``-row ``W_out`` block), clipping happens before noising
         exactly as Eq. (9) prescribes, and the noise is drawn for the same
         sorted set of touched rows so the RNG stream matches draw for draw.
+
+        ``workspace`` is accepted by every strategy for interface
+        uniformity; only strategies with a compact result (the non-zero
+        Eq. 9) use it — the dense Eq. 6 noise matrix is inherently a fresh
+        ``|V| × r`` draw, so this base implementation ignores it.
         """
+        del workspace  # dense strategies have no allocation-free form
         batch_size = len(batch_gradients)
         if batch_size == 0:
             raise TrainingError("batch_gradients must not be empty")
         clipped_centers, clipped_contexts = self._clip_batch(batch_gradients)
+        dtype = clipped_centers.dtype
 
-        w_in_sum = np.zeros((num_nodes, embedding_dim))
-        w_in_counts = np.zeros(num_nodes)
+        w_in_sum = np.zeros((num_nodes, embedding_dim), dtype=dtype)
+        w_in_counts = np.zeros(num_nodes, dtype=dtype)
         np.add.at(w_in_sum, batch_gradients.centers, clipped_centers)
         np.add.at(w_in_counts, batch_gradients.centers, 1)
 
         flat_contexts = batch_gradients.context_nodes.reshape(-1)
-        w_out_sum = np.zeros((num_nodes, embedding_dim))
-        w_out_counts = np.zeros(num_nodes)
+        w_out_sum = np.zeros((num_nodes, embedding_dim), dtype=dtype)
+        w_out_counts = np.zeros(num_nodes, dtype=dtype)
         np.add.at(w_out_sum, flat_contexts, clipped_contexts.reshape(-1, embedding_dim))
         np.add.at(w_out_counts, flat_contexts, 1)
 
@@ -366,8 +377,10 @@ class NaivePerturbation(PerturbationStrategy):
         batch_size: int,
     ) -> np.ndarray:
         std = self.noise_multiplier * self.sensitivity(batch_size)
+        # noise is always drawn in float64 (the DP calibration is exact);
+        # the sum keeps the compute dtype of the gradients
         noise = self._rng.normal(0.0, std, size=gradient_sum.shape)
-        return gradient_sum + noise
+        return (gradient_sum + noise).astype(gradient_sum.dtype, copy=False)
 
 
 class NonZeroPerturbation(PerturbationStrategy):
@@ -380,6 +393,8 @@ class NonZeroPerturbation(PerturbationStrategy):
         batch_gradients: BatchGradients,
         num_nodes: int,
         embedding_dim: int,
+        *,
+        workspace=None,
     ) -> SparsePerturbedBatchGradients:
         """Compact fast path: everything stays in touched-row space.
 
@@ -388,16 +403,28 @@ class NonZeroPerturbation(PerturbationStrategy):
         matrices — sums are bincount segment-sums over the unique touched
         rows and the Gaussian draw covers exactly those rows, in the same
         sorted order (and hence the same RNG stream) as the dense paths.
+
+        With a :class:`~repro.engine.StepWorkspace` the same pipeline runs
+        allocation-free through the workspace's segment scratch (in-place
+        sort + ``reduceat`` instead of ``unique`` + ``bincount``) and the
+        Gaussians land in a reused float64 buffer via
+        ``standard_normal(out=...)`` — same draw count, order and values as
+        the allocating path, so the noise stream stays pinned.
         """
         batch_size = len(batch_gradients)
         if batch_size == 0:
             raise TrainingError("batch_gradients must not be empty")
+        if workspace is not None:
+            return self._perturb_batch_into(
+                batch_gradients, num_nodes, embedding_dim, workspace
+            )
         clipped_centers, clipped_contexts = self._clip_batch(batch_gradients)
+        dtype = clipped_centers.dtype
         std = self.noise_multiplier * self.sensitivity(batch_size)
 
         w_in_rows, inverse_in = np.unique(batch_gradients.centers, return_inverse=True)
         w_in_grads = _segment_sum(inverse_in, clipped_centers, w_in_rows.size)
-        w_in_counts = np.bincount(inverse_in, minlength=w_in_rows.size).astype(float)
+        w_in_counts = np.bincount(inverse_in, minlength=w_in_rows.size).astype(dtype)
         w_in_grads += self._rng.normal(0.0, std, size=(w_in_rows.size, embedding_dim))
 
         flat_contexts = batch_gradients.context_nodes.reshape(-1)
@@ -405,7 +432,7 @@ class NonZeroPerturbation(PerturbationStrategy):
         w_out_grads = _segment_sum(
             inverse_out, clipped_contexts.reshape(-1, embedding_dim), w_out_rows.size
         )
-        w_out_counts = np.bincount(inverse_out, minlength=w_out_rows.size).astype(float)
+        w_out_counts = np.bincount(inverse_out, minlength=w_out_rows.size).astype(dtype)
         w_out_grads += self._rng.normal(0.0, std, size=(w_out_rows.size, embedding_dim))
 
         return SparsePerturbedBatchGradients(
@@ -419,6 +446,90 @@ class NonZeroPerturbation(PerturbationStrategy):
             batch_size=batch_size,
             mean_loss=batch_gradients.mean_loss,
         )
+
+    # ------------------------------------------------------------------ #
+    def _clip_batch_inplace(self, batch_gradients: BatchGradients, workspace) -> None:
+        """Per-example Eq. (3) clipping, mutating the workspace gradient buffers.
+
+        Same ℓ2 blocks as :meth:`_clip_batch`; legal only because the fast
+        path owns the gradient buffers and overwrites them next step anyway.
+        """
+        threshold = self.clipping_threshold
+        ws = workspace
+        norms = ws.example_norms
+        center_grads = batch_gradients.center_gradients
+        np.einsum("br,br->b", center_grads, center_grads, out=norms)
+        np.sqrt(norms, out=norms)
+        np.divide(norms, threshold, out=norms)
+        np.maximum(norms, 1.0, out=norms)
+        np.divide(center_grads, ws.example_norms_col, out=center_grads)
+
+        context_grads = batch_gradients.context_gradients
+        np.einsum("bkr,bkr->b", context_grads, context_grads, out=norms)
+        np.sqrt(norms, out=norms)
+        np.divide(norms, threshold, out=norms)
+        np.maximum(norms, 1.0, out=norms)
+        np.divide(context_grads, ws.example_norms_col3, out=context_grads)
+
+    def _perturb_batch_into(
+        self,
+        batch_gradients: BatchGradients,
+        num_nodes: int,
+        embedding_dim: int,
+        workspace,
+    ):
+        """Allocation-free Eq. (9): clip in place, segment-reduce, noise in place.
+
+        Returns the workspace's reused
+        :class:`~repro.engine.workspace.WorkspacePerturbedGradients` holding
+        views into the scratch buffers — valid until the next step.  Unlike
+        the default path, clipping MUTATES the incoming gradient buffers
+        (they are workspace scratch on the engine's fast path; copy first if
+        you pass your own and still need the raw values).
+        """
+        del num_nodes, embedding_dim  # bound by the workspace geometry
+        ws = workspace
+        batch_size = len(batch_gradients)
+        if batch_gradients.context_gradients.shape != ws.context_gradients.shape:
+            raise TrainingError(
+                f"batch gradients shape {batch_gradients.context_gradients.shape} "
+                f"does not match the workspace geometry {ws.context_gradients.shape}"
+            )
+        self._clip_batch_inplace(batch_gradients, ws)
+        std = self.noise_multiplier * self.sensitivity(batch_size)
+
+        result = ws.perturb_result
+        result.batch_size = batch_size
+        result.mean_loss = batch_gradients.mean_loss
+        if batch_gradients is ws.gradients:
+            flat_rows = ws.contexts_flat
+            flat_values = ws.context_gradients_flat
+        else:  # foreign gradients: reshape views, still no data copies
+            flat_rows = batch_gradients.context_nodes.reshape(-1)
+            flat_values = batch_gradients.context_gradients.reshape(
+                -1, batch_gradients.context_gradients.shape[-1]
+            )
+        phases = (
+            ("w_in", ws.center_scratch, batch_gradients.centers,
+             batch_gradients.center_gradients),
+            ("w_out", ws.context_scratch, flat_rows, flat_values),
+        )
+        for prefix, scratch, rows, values in phases:
+            unique = scratch.reduce(rows, values)
+            noise = scratch.noise[:unique]
+            self._rng.standard_normal(out=noise)
+            np.multiply(noise, std, out=noise)
+            sums = scratch.sums[:unique]
+            if scratch.noise_cast is not scratch.noise:
+                # stage the float64 draws in the compute dtype: copyto casts
+                # in place, a cross-dtype np.add would allocate buffers
+                noise = scratch.noise_cast[:unique]
+                np.copyto(noise, scratch.noise[:unique], casting="same_kind")
+            np.add(sums, noise, out=sums)
+            setattr(result, f"{prefix}_rows", scratch.unique_rows[:unique])
+            setattr(result, f"{prefix}_sums", sums)
+            setattr(result, f"{prefix}_counts", scratch.counts[:unique])
+        return result
 
     def sensitivity(self, batch_size: int) -> float:
         """Per-row sensitivity of the non-zero rows: the clipping threshold ``C``."""

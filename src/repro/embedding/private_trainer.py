@@ -43,6 +43,7 @@ from ..engine import (
     RdpAccountingHook,
     SubgraphBatch,
     TrainingEngine,
+    resolve_compute_dtype,
 )
 from ..exceptions import TrainingError
 from ..graph import Graph
@@ -128,6 +129,17 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         ``"off"`` (default), ``"default"`` (process-wide cache) or an
         explicit :class:`~repro.proximity.cache.ProximityCache`; ignored
         when ``proximity`` is already a matrix.
+    fast_path:
+        Opt into the zero-allocation training fast path (preallocated
+        :class:`~repro.engine.StepWorkspace`, alias-table negative draws,
+        partial Fisher–Yates batch indices).  Sampling RNG *streams*
+        differ from the default; the privacy guarantee is unaffected —
+        clipping, sensitivities and the Gaussian noise (always drawn in
+        float64, same stream as the default perturb path) are unchanged.
+    compute_dtype:
+        ``"float64"`` (default) or ``"float32"`` for the model matrices
+        and gradient arithmetic.  The RDP accountant, sensitivities and
+        noise calibration always stay float64.
 
     Passing the graph as the first constructor argument (the pre-estimator
     convention, followed by ``train()``) is still supported but deprecated.
@@ -155,6 +167,8 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         gradient_normalization: str = "per_row",
         seed: int | np.random.Generator | None = None,
         proximity_cache="off",
+        fast_path: bool = False,
+        compute_dtype="float64",
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -196,6 +210,8 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         )
         self._seed = seed
         self._proximity_cache = proximity_cache
+        self.fast_path = bool(fast_path)
+        self.compute_dtype = resolve_compute_dtype(compute_dtype)
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.accountant: RdpAccountant | None = None
@@ -264,13 +280,14 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
         self.model = SkipGramModel(
-            graph.num_nodes, self.training_config.embedding_dim, seed=self._rng
+            graph.num_nodes, self.training_config.embedding_dim, seed=self._rng,
+            dtype=self.compute_dtype,
         )
         self.optimizer = SGDOptimizer(self.training_config.learning_rate)
 
         # Theorem-3 negative sampler: candidates uniform, mass min(P)/Σ_j p_ij.
         negative_sampler = ProximityNegativeSampler.from_proximity(
-            graph, self.proximity_matrix, seed=self._rng
+            graph, self.proximity_matrix, seed=self._rng, use_alias=self.fast_path
         )
         pool = generate_disjoint_subgraph_arrays(
             graph, negative_sampler, self.training_config.negative_samples
@@ -280,7 +297,8 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
             self.objective.edge_weights(pool.centers, pool.positives)
         )
         self._sampler = SubgraphSampler(
-            self._subgraph_pool, self.training_config.batch_size, seed=self._rng
+            self._subgraph_pool, self.training_config.batch_size, seed=self._rng,
+            fast_path=self.fast_path,
         )
 
         if isinstance(self._perturbation_spec, PerturbationStrategy):
@@ -305,6 +323,11 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         ]
         if self.iterate_averaging:
             hooks.append(IterateAveragingHook())
+        workspace = (
+            self._ensure_workspace(self._subgraph_pool, graph.num_nodes)
+            if self.fast_path
+            else None
+        )
         self.engine = TrainingEngine(
             model=self.model,
             optimizer=self.optimizer,
@@ -314,6 +337,7 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
                 self.perturbation, gradient_normalization=self.gradient_normalization
             ),
             hooks=hooks,
+            workspace=workspace,
         )
 
     def _run_engine(self, epochs: int | None) -> FitResult:

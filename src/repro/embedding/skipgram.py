@@ -31,6 +31,12 @@ class SkipGramModel:
         when ``None``).
     seed:
         Seed or generator for the initialisation.
+    dtype:
+        Storage/compute dtype of both matrices (``"float32"`` or
+        ``"float64"``, default float64).  Initial weights are always drawn
+        in float64 — the RNG stream is identical for both dtypes, float32
+        models simply round the same draws — so a float32 model is the
+        rounded image of its float64 twin.
     """
 
     def __init__(
@@ -39,19 +45,25 @@ class SkipGramModel:
         embedding_dim: int,
         init_scale: float | None = None,
         seed: int | np.random.Generator | None = None,
+        dtype=np.float64,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
         if embedding_dim <= 0:
             raise ConfigurationError(f"embedding_dim must be positive, got {embedding_dim}")
+        from ..engine.workspace import resolve_compute_dtype
+
         self.num_nodes = int(num_nodes)
         self.embedding_dim = int(embedding_dim)
+        self.dtype = resolve_compute_dtype(dtype)
         rng = ensure_rng(seed)
         scale = float(init_scale) if init_scale is not None else 0.5 / self.embedding_dim
         if scale <= 0:
             raise ConfigurationError(f"init_scale must be positive, got {init_scale}")
-        self.w_in = rng.uniform(-scale, scale, size=(self.num_nodes, self.embedding_dim))
-        self.w_out = rng.uniform(-scale, scale, size=(self.num_nodes, self.embedding_dim))
+        shape = (self.num_nodes, self.embedding_dim)
+        # astype(copy=False) keeps the float64 default allocation-identical
+        self.w_in = rng.uniform(-scale, scale, size=shape).astype(self.dtype, copy=False)
+        self.w_out = rng.uniform(-scale, scale, size=shape).astype(self.dtype, copy=False)
 
     # ------------------------------------------------------------------ #
     def center_vector(self, node: int) -> np.ndarray:
@@ -88,7 +100,9 @@ class SkipGramModel:
 
     def copy(self) -> "SkipGramModel":
         """Return a deep copy of the model (used to snapshot non-private baselines)."""
-        clone = SkipGramModel(self.num_nodes, self.embedding_dim, init_scale=1e-6, seed=0)
+        clone = SkipGramModel(
+            self.num_nodes, self.embedding_dim, init_scale=1e-6, seed=0, dtype=self.dtype
+        )
         clone.w_in = self.w_in.copy()
         clone.w_out = self.w_out.copy()
         return clone

@@ -33,8 +33,10 @@ from ..config import TrainingConfig
 from ..engine import (
     DirectSparseUpdate,
     LossLoggingHook,
+    StepWorkspace,
     SubgraphBatch,
     TrainingEngine,
+    resolve_compute_dtype,
 )
 from ..exceptions import TrainingError
 from ..graph import Graph
@@ -185,6 +187,34 @@ class SkipGramTrainerBase(Embedder):
         self._setup(graph, rng, proximity=proximity)
         return self._run_engine(epochs)
 
+    def _build_options(self) -> dict:
+        """Record the fast-path knobs (shared by both trainers) for artifacts."""
+        options = super()._build_options()
+        if self.fast_path:
+            options["fast_path"] = True
+        if self.compute_dtype != np.dtype(np.float64):
+            options["compute_dtype"] = self.compute_dtype.name
+        return options
+
+    def _ensure_workspace(self, pool: SubgraphBatch, num_nodes: int) -> StepWorkspace:
+        """Create (or reuse, when the geometry matches) the step workspace.
+
+        Reuse across fits is deliberate — the buffers are fully rewritten
+        every step, so a second ``fit`` on the same-shaped problem pays no
+        reallocation; a leak test pins that reuse cannot carry state over.
+        """
+        geometry = dict(
+            batch_size=self._sampler.batch_size,
+            num_negatives=pool.num_negatives,
+            embedding_dim=self.training_config.embedding_dim,
+            num_nodes=num_nodes,
+            dtype=self.compute_dtype,
+        )
+        existing: StepWorkspace | None = getattr(self, "_workspace", None)
+        if existing is None or not existing.matches(**geometry):
+            self._workspace = StepWorkspace(**geometry)
+        return self._workspace
+
     def _require_setup(self) -> None:
         if self.engine is None:
             raise TrainingError(
@@ -233,6 +263,17 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         :class:`~repro.proximity.cache.ProximityCache`; an explicit cache
         instance is used as-is.  Ignored when ``proximity`` is already a
         matrix.
+    fast_path:
+        Opt into the zero-allocation training fast path: a preallocated
+        :class:`~repro.engine.StepWorkspace` threads every step, the
+        negative sampler draws through a Walker alias table and batch
+        indices come from a partial Fisher–Yates shuffle.  Sampling RNG
+        *streams* differ from the default (the distributions do not);
+        the default path stays bit-identical.
+    compute_dtype:
+        ``"float64"`` (default) or ``"float32"``.  Controls the model
+        matrices and all gradient arithmetic; privacy-relevant math (noise
+        draws, sensitivities, the accountant) always stays float64.
 
     Passing the graph as the first constructor argument (the pre-estimator
     convention, followed by ``train()``) is still supported but deprecated.
@@ -249,6 +290,8 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         negative_sampling: str = "proximity",
         seed: int | np.random.Generator | None = None,
         proximity_cache="off",
+        fast_path: bool = False,
+        compute_dtype="float64",
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -277,6 +320,8 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         self.negative_sampling = negative_sampling
         self._seed = seed
         self._proximity_cache = proximity_cache
+        self.fast_path = bool(fast_path)
+        self.compute_dtype = resolve_compute_dtype(compute_dtype)
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.proximity_matrix: ProximityMatrix | None = None
@@ -334,16 +379,19 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
         self.model = SkipGramModel(
-            graph.num_nodes, self.config.embedding_dim, seed=self._rng
+            graph.num_nodes, self.config.embedding_dim, seed=self._rng,
+            dtype=self.compute_dtype,
         )
         self.optimizer = SGDOptimizer(self.config.learning_rate)
 
         if self.negative_sampling == "proximity":
             negative_sampler = ProximityNegativeSampler.from_proximity(
-                graph, self.proximity_matrix, seed=self._rng
+                graph, self.proximity_matrix, seed=self._rng, use_alias=self.fast_path
             )
         else:
-            negative_sampler = UnigramNegativeSampler(graph, seed=self._rng)
+            negative_sampler = UnigramNegativeSampler(
+                graph, seed=self._rng, use_alias=self.fast_path
+            )
         pool = generate_disjoint_subgraph_arrays(
             graph, negative_sampler, self.config.negative_samples
         )
@@ -353,7 +401,13 @@ class SEGEmbTrainer(SkipGramTrainerBase):
             self.objective.edge_weights(pool.centers, pool.positives)
         )
         self._sampler = SubgraphSampler(
-            self._subgraph_pool, self.config.batch_size, seed=self._rng
+            self._subgraph_pool, self.config.batch_size, seed=self._rng,
+            fast_path=self.fast_path,
+        )
+        workspace = (
+            self._ensure_workspace(self._subgraph_pool, graph.num_nodes)
+            if self.fast_path
+            else None
         )
         self.engine = TrainingEngine(
             model=self.model,
@@ -362,6 +416,7 @@ class SEGEmbTrainer(SkipGramTrainerBase):
             sampler=self._sampler,
             update_rule=DirectSparseUpdate(),
             hooks=(LossLoggingHook(_LOGGER),),
+            workspace=workspace,
         )
 
     def _run_engine(self, epochs: int | None) -> FitResult:

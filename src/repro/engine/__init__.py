@@ -6,6 +6,11 @@ structure-preference gradients in one vectorized pass
 (:class:`BatchGradients`), and runs one shared epoch loop
 (:class:`TrainingEngine`) that both the non-private and the private trainer
 configure via update rules and hooks instead of re-implementing.
+
+Two opt-in collaborators speed and instrument the loop without touching the
+default path: :class:`StepWorkspace` preallocates every per-step array once
+(the zero-allocation fast path), and :class:`StepProfiler` records where a
+step's wall time goes (sample / gradients / perturb / descend).
 """
 
 from .batch import BatchGradients, SubgraphBatch
@@ -16,7 +21,9 @@ from .hooks import (
     LossLoggingHook,
     RdpAccountingHook,
 )
+from .profiler import StepProfile, StepProfiler
 from .updates import DirectSparseUpdate, PerturbedUpdate, UpdateRule
+from .workspace import StepWorkspace, WorkspacePerturbedGradients, resolve_compute_dtype
 
 __all__ = [
     "BatchGradients",
@@ -27,7 +34,12 @@ __all__ = [
     "LossLoggingHook",
     "RdpAccountingHook",
     "IterateAveragingHook",
+    "StepProfile",
+    "StepProfiler",
+    "StepWorkspace",
+    "WorkspacePerturbedGradients",
     "UpdateRule",
     "DirectSparseUpdate",
     "PerturbedUpdate",
+    "resolve_compute_dtype",
 ]

@@ -75,7 +75,12 @@ class SubgraphBatch:
         object.__setattr__(self, "centers", centers)
         object.__setattr__(self, "contexts", contexts)
         if self.weights is not None:
-            weights = np.asarray(self.weights, dtype=float)
+            # float32 buffers pass through untouched (the compute-dtype fast
+            # path relies on buffer identity); everything else keeps the old
+            # coerce-to-float64 behaviour.
+            weights = np.asarray(self.weights)
+            if weights.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+                weights = weights.astype(float)
             if weights.shape != centers.shape:
                 raise TrainingError(
                     f"weights must have shape {centers.shape}, got {weights.shape}"
@@ -107,14 +112,41 @@ class SubgraphBatch:
         return int(self.contexts.shape[1]) - 1
 
     # ------------------------------------------------------------------ #
-    def take(self, indices: np.ndarray) -> "SubgraphBatch":
-        """Return the sub-batch at ``indices`` (used by the batch sampler)."""
+    def take(self, indices: np.ndarray, *, out: "SubgraphBatch | None" = None) -> "SubgraphBatch":
+        """Return the sub-batch at ``indices`` (used by the batch sampler).
+
+        With ``out`` (a batch wrapping preallocated buffers, e.g.
+        ``StepWorkspace.batch``) the rows are gathered straight into the
+        buffers via ``np.take(..., out=..., mode="clip")`` and ``out`` is
+        returned — the allocation-free fast path.  ``indices`` must already
+        be in range (``mode="clip"`` silently clamps, it does not validate)
+        and the weight dtypes must match exactly, otherwise numpy would
+        allocate a casting buffer behind the scenes.
+        """
         indices = np.asarray(indices, dtype=np.int64)
-        return SubgraphBatch(
-            centers=self.centers[indices],
-            contexts=self.contexts[indices],
-            weights=None if self.weights is None else self.weights[indices],
-        )
+        if out is None:
+            return SubgraphBatch(
+                centers=self.centers[indices],
+                contexts=self.contexts[indices],
+                weights=None if self.weights is None else self.weights[indices],
+            )
+        if self.weights is None and out.weights is not None:
+            raise TrainingError(
+                "cannot take() from a weightless pool into a workspace batch "
+                "with weight buffers: the stale weights would be used"
+            )
+        np.take(self.centers, indices, out=out.centers, mode="clip")
+        np.take(self.contexts, indices, axis=0, out=out.contexts, mode="clip")
+        if self.weights is not None:
+            if out.weights is None or out.weights.dtype != self.weights.dtype:
+                raise TrainingError(
+                    "workspace weight buffer dtype "
+                    f"{None if out.weights is None else out.weights.dtype} does "
+                    f"not match pool weights {self.weights.dtype}; cast the pool "
+                    "once (SubgraphSampler does this) instead of per step"
+                )
+            np.take(self.weights, indices, out=out.weights, mode="clip")
+        return out
 
     def with_weights(self, weights: np.ndarray) -> "SubgraphBatch":
         """Return a copy of this batch with proximity weights attached."""

@@ -20,13 +20,18 @@ the embedding layer can depend on the engine without a cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..exceptions import TrainingError
 from .hooks import EngineHook
 from .updates import UpdateRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .profiler import StepProfile, StepProfiler
+    from .workspace import StepWorkspace
 
 __all__ = ["EngineResult", "TrainingEngine"]
 
@@ -37,6 +42,8 @@ class EngineResult:
 
     ``embeddings`` / ``context_embeddings`` default to the final iterates;
     hooks (e.g. iterate averaging) may replace them in ``on_train_end``.
+    ``profile`` is filled by a :class:`~repro.engine.profiler.StepProfiler`
+    hook when one is installed, ``None`` otherwise.
     """
 
     embeddings: np.ndarray
@@ -44,6 +51,7 @@ class EngineResult:
     losses: list[float] = field(default_factory=list)
     epochs_run: int = 0
     stopped_early: bool = False
+    profile: "StepProfile | None" = None
 
 
 class TrainingEngine:
@@ -65,6 +73,13 @@ class TrainingEngine:
         Ordered :class:`EngineHook` instances; ``before_step`` hooks can
         stop training (privacy budget), ``on_train_end`` hooks can replace
         the published matrices (iterate averaging).
+    workspace:
+        Optional :class:`~repro.engine.workspace.StepWorkspace`.  When
+        present every step runs through the preallocated buffers (the
+        zero-allocation fast path); the sampler and objective must be
+        workspace-aware (``SubgraphSampler`` / the structure-preference
+        objective are).  ``None`` (default) keeps the existing path
+        bit-for-bit.
     """
 
     def __init__(
@@ -76,6 +91,7 @@ class TrainingEngine:
         sampler,
         update_rule: UpdateRule,
         hooks: Sequence[EngineHook] = (),
+        workspace: "StepWorkspace | None" = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -83,16 +99,39 @@ class TrainingEngine:
         self.sampler = sampler
         self.update_rule = update_rule
         self.hooks = tuple(hooks)
+        self.workspace = workspace
+        #: installed by a StepProfiler hook for the duration of a run
+        self.profiler: "StepProfiler | None" = None
         #: total epochs requested by the current ``run`` (for logging hooks).
         self.total_epochs = 0
 
     # ------------------------------------------------------------------ #
     def step(self, epoch: int = 0) -> float:
         """Run one training step and return its mean batch loss."""
-        batch = self.sampler.sample_batch_arrays()
-        gradients = self.objective.batch_gradients(
-            self.model.w_in, self.model.w_out, batch
-        )
+        profiler = self.profiler
+        workspace = self.workspace
+        if profiler is not None:
+            start = perf_counter()
+        if workspace is None:
+            batch = self.sampler.sample_batch_arrays()
+            if profiler is not None:
+                now = perf_counter()
+                profiler.record("sample", now - start)
+                start = now
+            gradients = self.objective.batch_gradients(
+                self.model.w_in, self.model.w_out, batch
+            )
+        else:
+            batch = self.sampler.sample_batch_arrays(workspace=workspace)
+            if profiler is not None:
+                now = perf_counter()
+                profiler.record("sample", now - start)
+                start = now
+            gradients = self.objective.batch_gradients(
+                self.model.w_in, self.model.w_out, batch, workspace=workspace
+            )
+        if profiler is not None:
+            profiler.record("gradients", perf_counter() - start)
         self.update_rule.apply(self.model, self.optimizer, batch, gradients)
         return gradients.mean_loss
 
@@ -102,9 +141,15 @@ class TrainingEngine:
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
         self.total_epochs = epochs
+        if self.workspace is not None:
+            self.workspace.validate_model(self.model)
+        self.update_rule.workspace = self.workspace
 
+        self.profiler = None
         for hook in self.hooks:
             hook.on_train_start(self)
+        # a StepProfiler hook installs itself on engine.profiler above
+        self.update_rule.profiler = self.profiler
 
         losses: list[float] = []
         stopped_early = False
@@ -127,6 +172,7 @@ class TrainingEngine:
         )
         for hook in self.hooks:
             result = hook.on_train_end(self, result)
+        self.update_rule.profiler = None
         return result
 
     def __repr__(self) -> str:

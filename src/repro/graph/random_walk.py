@@ -1,4 +1,4 @@
-"""Random-walk engine.
+r"""Random-walk engine.
 
 DeepWalk-style uniform random walks are used in two places:
 
@@ -96,35 +96,47 @@ class RandomWalker:
         """Extract (centre, context) pairs from walks within a sliding window.
 
         Returns an ``(n_pairs, 2)`` array.  This is the classic DeepWalk
-        corpus construction.
+        corpus construction, built per walk with array ops: every centre
+        index is offset by ``-W..-1, 1..W`` at once and the out-of-range
+        combinations masked away.  Pair order matches the nested-loop
+        construction (centres ascending, contexts ascending per centre).
         """
         if window_size < 1:
             raise GraphError(f"window_size must be >= 1, got {window_size}")
-        pairs: list[tuple[int, int]] = []
+        offsets = np.concatenate(
+            [np.arange(-window_size, 0), np.arange(1, window_size + 1)]
+        )
+        chunks: list[np.ndarray] = []
         for walk in walks:
-            for idx, center in enumerate(walk):
-                lo = max(0, idx - window_size)
-                hi = min(len(walk), idx + window_size + 1)
-                for jdx in range(lo, hi):
-                    if jdx != idx:
-                        pairs.append((center, walk[jdx]))
-        if not pairs:
+            nodes = np.asarray(walk, dtype=np.int64)
+            length = nodes.size
+            if length < 2:
+                continue
+            context_idx = np.arange(length)[:, None] + offsets[None, :]
+            valid = (context_idx >= 0) & (context_idx < length)
+            centers = np.repeat(nodes, valid.sum(axis=1))
+            contexts = nodes[context_idx[valid]]
+            chunks.append(np.stack([centers, contexts], axis=1))
+        if not chunks:
             return np.zeros((0, 2), dtype=np.int64)
-        return np.asarray(pairs, dtype=np.int64)
+        return np.concatenate(chunks, axis=0)
 
     # ------------------------------------------------------------------ #
     def _biased_step(self, previous: int, current: int, neighbors: np.ndarray) -> int:
-        """node2vec second-order transition from ``current`` given ``previous``."""
-        weights = np.empty(neighbors.size, dtype=float)
-        prev_neighbors = set(self.graph.neighbors(previous).tolist())
-        for i, candidate in enumerate(neighbors):
-            candidate = int(candidate)
-            if candidate == previous:
-                weights[i] = 1.0 / self.return_param
-            elif candidate in prev_neighbors:
-                weights[i] = 1.0
-            else:
-                weights[i] = 1.0 / self.inout_param
+        """node2vec second-order transition from ``current`` given ``previous``.
+
+        Membership of each candidate in the previous node's neighbourhood
+        is a vectorised ``searchsorted`` probe of the graph's sorted
+        neighbour array — no per-step Python set construction.
+        """
+        prev_neighbors = self.graph.neighbors(previous)  # sorted CSR slice
+        positions = np.searchsorted(prev_neighbors, neighbors)
+        positions_clipped = np.minimum(positions, prev_neighbors.size - 1)
+        is_common = (positions < prev_neighbors.size) & (
+            prev_neighbors[positions_clipped] == neighbors
+        )
+        weights = np.where(is_common, 1.0, 1.0 / self.inout_param)
+        weights[neighbors == previous] = 1.0 / self.return_param
         weights /= weights.sum()
         choice = self._rng.choice(neighbors.size, p=weights)
         return int(neighbors[int(choice)])

@@ -1,0 +1,749 @@
+"""Tests for the zero-allocation training fast path.
+
+Covers the :class:`~repro.engine.StepWorkspace` machinery (in-place
+gradients, compact perturbation, segment reduction), the ``compute_dtype``
+knob (float32 ↔ float64 parity at tolerance across every registered
+method), the alias negative sampler, the partial Fisher–Yates batch
+sampler, the per-phase :class:`~repro.engine.StepProfiler`, the SGD dtype
+guard, and the tracemalloc allocation pins.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigurationError, PrivacyConfig, TrainingConfig
+from repro.embedding import SGDOptimizer, SkipGramModel, get_perturbation
+from repro.embedding.objectives import StructurePreferenceObjective
+from repro.embedding.private_trainer import SEPrivGEmbTrainer
+from repro.embedding.trainer import SEGEmbTrainer
+from repro.engine import (
+    DirectSparseUpdate,
+    PerturbedUpdate,
+    StepProfiler,
+    StepWorkspace,
+    TrainingEngine,
+    WorkspacePerturbedGradients,
+    resolve_compute_dtype,
+)
+from repro.engine.workspace import _SegmentScratch
+from repro.exceptions import GraphError, TrainingError
+from repro.graph import load_dataset
+from repro.graph.sampling import (
+    ProximityNegativeSampler,
+    SubgraphSampler,
+    UnigramNegativeSampler,
+    generate_disjoint_subgraph_arrays,
+)
+from repro.models import Embedder, available_methods, get_method
+from repro.proximity import DegreeProximity
+
+TRAINING = TrainingConfig(
+    embedding_dim=12, batch_size=24, learning_rate=0.1, negative_samples=4,
+    epochs=25, seed=0,
+)
+PRIVACY = PrivacyConfig(
+    epsilon=3.5, delta=1e-5, noise_multiplier=5.0, clipping_threshold=2.0
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("smallworld", num_nodes=80, seed=7)
+
+
+def _fast_setup(graph, *, dtype="float64", private=False, seed=0):
+    """A trainer's engine stack on the fast path, already set up."""
+    if private:
+        trainer = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(), training_config=TRAINING,
+            privacy_config=PRIVACY, seed=seed, fast_path=True, compute_dtype=dtype,
+        )
+    else:
+        trainer = SEGEmbTrainer(
+            proximity=DegreeProximity(), config=TRAINING, seed=seed,
+            fast_path=True, compute_dtype=dtype,
+        )
+    trainer._setup(graph, np.random.default_rng(seed))
+    return trainer
+
+
+# --------------------------------------------------------------------- #
+# workspace construction and validation
+# --------------------------------------------------------------------- #
+class TestStepWorkspace:
+    def test_geometry_and_buffer_identity(self):
+        ws = StepWorkspace(
+            batch_size=8, num_negatives=3, embedding_dim=5, num_nodes=30,
+            dtype="float32",
+        )
+        assert ws.batch.centers is ws.centers
+        assert ws.batch.weights is ws.weights
+        assert ws.gradients.context_gradients is ws.context_gradients
+        assert ws.contexts.shape == (8, 4)
+        assert ws.context_vecs.shape == (8, 4, 5)
+        assert ws.dtype == np.dtype(np.float32)
+        assert ws.weights.dtype == np.dtype(np.float32)
+        # DP noise buffers stay float64 regardless of the compute dtype
+        assert ws.context_scratch.noise.dtype == np.dtype(np.float64)
+
+    def test_rejects_bad_dtype_and_geometry(self):
+        with pytest.raises(ConfigurationError, match="compute_dtype"):
+            StepWorkspace(batch_size=4, num_negatives=2, embedding_dim=3,
+                          num_nodes=10, dtype="float16")
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            StepWorkspace(batch_size=0, num_negatives=2, embedding_dim=3, num_nodes=10)
+        with pytest.raises(ConfigurationError, match="num_negatives"):
+            StepWorkspace(batch_size=4, num_negatives=0, embedding_dim=3, num_nodes=10)
+
+    def test_matches_and_model_validation(self):
+        ws = StepWorkspace(batch_size=4, num_negatives=2, embedding_dim=3, num_nodes=10)
+        assert ws.matches(batch_size=4, num_negatives=2, embedding_dim=3,
+                          num_nodes=10, dtype="float64")
+        assert not ws.matches(batch_size=4, num_negatives=2, embedding_dim=3,
+                              num_nodes=10, dtype="float32")
+        assert not ws.matches(batch_size=5, num_negatives=2, embedding_dim=3,
+                              num_nodes=10, dtype="float64")
+        model = SkipGramModel(10, 3, seed=0, dtype="float32")
+        with pytest.raises(ConfigurationError, match="float32"):
+            ws.validate_model(model)
+        ws.validate_model(SkipGramModel(10, 3, seed=0))
+
+    def test_resolve_compute_dtype(self):
+        assert resolve_compute_dtype("float32") == np.dtype(np.float32)
+        assert resolve_compute_dtype(np.float64) == np.dtype(np.float64)
+        with pytest.raises(ConfigurationError, match="float16"):
+            resolve_compute_dtype("float16")
+        with pytest.raises(ConfigurationError):
+            resolve_compute_dtype("int64")
+        with pytest.raises(ConfigurationError):
+            # np.dtype(None) would silently mean float64 — must be rejected
+            resolve_compute_dtype(None)
+
+
+# --------------------------------------------------------------------- #
+# segment reduction (the compact scatter core)
+# --------------------------------------------------------------------- #
+class TestSegmentScratch:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 64), st.integers(1, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_matches_unique_bincount(self, seed, slots, dim):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, max(2, slots // 2 * 3), size=slots)
+        values = rng.standard_normal((slots, dim))
+        scratch = _SegmentScratch(slots, dim, np.dtype(np.float64))
+        unique = scratch.reduce(rows, values)
+        expected_rows, inverse = np.unique(rows, return_inverse=True)
+        expected_sums = np.zeros((expected_rows.size, dim))
+        np.add.at(expected_sums, inverse, values)
+        expected_counts = np.bincount(inverse, minlength=expected_rows.size)
+        assert unique == expected_rows.size
+        np.testing.assert_array_equal(scratch.unique_rows[:unique], expected_rows)
+        np.testing.assert_allclose(scratch.sums[:unique], expected_sums, rtol=1e-12, atol=1e-12)
+        np.testing.assert_array_equal(scratch.counts[:unique], expected_counts)
+
+    def test_all_duplicates(self):
+        scratch = _SegmentScratch(6, 2, np.dtype(np.float64))
+        unique = scratch.reduce(np.zeros(6, dtype=np.int64), np.ones((6, 2)))
+        assert unique == 1
+        np.testing.assert_allclose(scratch.sums[0], [6.0, 6.0])
+        assert scratch.counts[0] == 6.0
+
+
+# --------------------------------------------------------------------- #
+# workspace gradient / perturb equivalence with the default path
+# --------------------------------------------------------------------- #
+class TestWorkspaceEquivalence:
+    def test_gradients_match_default_path(self, graph):
+        trainer = _fast_setup(graph)
+        ws = trainer.engine.workspace
+        batch = trainer._sampler.sample_batch_arrays(workspace=ws)
+        model = trainer.model
+        fast = trainer.objective.batch_gradients(
+            model.w_in, model.w_out, batch, workspace=ws
+        )
+        # the same indices through the allocating default path
+        default = trainer.objective.batch_gradients(
+            model.w_in, model.w_out,
+            trainer._subgraph_pool.take(trainer._sampler._fy_indices),
+        )
+        np.testing.assert_allclose(fast.center_gradients, default.center_gradients,
+                                   rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fast.context_gradients, default.context_gradients,
+                                   rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(fast.losses, default.losses, rtol=1e-12, atol=1e-14)
+        np.testing.assert_array_equal(fast.centers, default.centers)
+        np.testing.assert_array_equal(fast.context_nodes, default.context_nodes)
+
+    def test_workspace_requires_bound_weights(self, graph):
+        trainer = _fast_setup(graph)
+        ws = trainer.engine.workspace
+        model = trainer.model
+        pool = trainer._subgraph_pool
+        weightless = pool.take(np.arange(ws.batch_size)).with_weights(
+            np.ones(ws.batch_size)
+        )
+        object.__setattr__(weightless, "weights", None)
+        with pytest.raises(TrainingError, match="pre-bound"):
+            trainer.objective.batch_gradients(
+                model.w_in, model.w_out, weightless, workspace=ws
+            )
+
+    def test_perturb_batch_workspace_matches_default(self, graph):
+        trainer = _fast_setup(graph, private=True)
+        ws = trainer.engine.workspace
+        model = trainer.model
+        batch = trainer._sampler.sample_batch_arrays(workspace=ws)
+        gradients = trainer.objective.batch_gradients(
+            model.w_in, model.w_out, batch, workspace=ws
+        )
+        # two strategies with the same seed: the noise streams are pinned
+        fast_strategy = get_perturbation("nonzero", 2.0, 5.0, seed=123)
+        default_strategy = get_perturbation("nonzero", 2.0, 5.0, seed=123)
+        # the default path must not see the in-place clipped buffers
+        default_gradients = type(gradients)(
+            centers=gradients.centers.copy(),
+            center_gradients=gradients.center_gradients.copy(),
+            context_nodes=gradients.context_nodes.copy(),
+            context_gradients=gradients.context_gradients.copy(),
+            losses=gradients.losses.copy(),
+        )
+        default = default_strategy.perturb_batch(
+            default_gradients, num_nodes=graph.num_nodes,
+            embedding_dim=model.embedding_dim,
+        )
+        fast = fast_strategy.perturb_batch(
+            gradients, num_nodes=graph.num_nodes,
+            embedding_dim=model.embedding_dim, workspace=ws,
+        )
+        assert isinstance(fast, WorkspacePerturbedGradients)
+        np.testing.assert_array_equal(fast.w_in_rows, default.w_in_rows)
+        np.testing.assert_array_equal(fast.w_out_rows, default.w_out_rows)
+        np.testing.assert_array_equal(fast.w_in_counts, default.w_in_row_counts)
+        np.testing.assert_array_equal(fast.w_out_counts, default.w_out_row_counts)
+        # same noise draws land on the same touched rows -> near-identical sums
+        np.testing.assert_allclose(fast.w_in_sums, default.w_in_gradient_rows,
+                                   rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(fast.w_out_sums, default.w_out_gradient_rows,
+                                   rtol=1e-10, atol=1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_engine_step_matches_default_given_same_batches(self, seed):
+        """One fast-path step == one default step when fed identical batches."""
+        graph = load_dataset("smallworld", num_nodes=50, seed=3)
+        proximity = DegreeProximity().compute(graph)
+        objective = StructurePreferenceObjective(proximity)
+        sampler_rng = np.random.default_rng(seed)
+        negative = UnigramNegativeSampler(graph, seed=sampler_rng)
+        pool = generate_disjoint_subgraph_arrays(graph, negative, 3)
+        pool = pool.with_weights(objective.edge_weights(pool.centers, pool.positives))
+        indices = np.random.default_rng(seed + 1).choice(len(pool), size=16, replace=False)
+        batch = pool.take(indices)
+
+        model_a = SkipGramModel(graph.num_nodes, 6, seed=seed)
+        model_b = SkipGramModel(graph.num_nodes, 6, seed=seed)
+        np.testing.assert_array_equal(model_a.w_in, model_b.w_in)
+        optimizer_a = SGDOptimizer(0.1)
+        optimizer_b = SGDOptimizer(0.1)
+
+        rule_a = DirectSparseUpdate()
+        gradients_a = objective.batch_gradients(model_a.w_in, model_a.w_out, batch)
+        rule_a.apply(model_a, optimizer_a, batch, gradients_a)
+
+        ws = StepWorkspace(batch_size=16, num_negatives=3, embedding_dim=6,
+                           num_nodes=graph.num_nodes)
+        rule_b = DirectSparseUpdate()
+        rule_b.workspace = ws
+        gradients_b = objective.batch_gradients(
+            model_b.w_in, model_b.w_out, batch, workspace=ws
+        )
+        rule_b.apply(model_b, optimizer_b, batch, gradients_b)
+
+        assert gradients_a.mean_loss == pytest.approx(gradients_b.mean_loss, rel=1e-12)
+        np.testing.assert_allclose(model_a.w_in, model_b.w_in, rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(model_a.w_out, model_b.w_out, rtol=1e-12, atol=1e-13)
+
+
+# --------------------------------------------------------------------- #
+# float32 <-> float64 parity across every registered method
+# --------------------------------------------------------------------- #
+def _small_parity_graph():
+    return load_dataset("smallworld", num_nodes=70, seed=5)
+
+
+_SE_METHODS = ("se_privgemb_dw", "se_privgemb_deg", "se_gemb_dw", "se_gemb_deg")
+
+
+class TestComputeDtypeParity:
+    @pytest.mark.parametrize("method", available_methods())
+    def test_float32_matches_float64_at_tolerance(self, method):
+        """The satellite contract: float32 runs shadow float64 at rtol<=1e-4.
+
+        SE methods run both dtypes on the *fast path* (index draws and DP
+        noise are dtype-independent there, so the two runs see identical
+        batches and noise); the one-shot baselines publish a float32 cast
+        of their float64 release.
+        """
+        graph = _small_parity_graph()
+        spec = get_method(method)
+        training = TrainingConfig(
+            embedding_dim=10, batch_size=20, learning_rate=0.1,
+            negative_samples=3, epochs=12, seed=0,
+        )
+        extra = {"fast_path": True} if method in _SE_METHODS else {}
+        runs = {}
+        for dtype in ("float64", "float32"):
+            model = spec.build(
+                training=training, privacy=PRIVACY, proximity_cache="off",
+                seed=0, compute_dtype=dtype, **extra,
+            ).fit(graph)
+            runs[dtype] = model
+        emb64 = runs["float64"].embeddings_
+        emb32 = runs["float32"].embeddings_
+        assert emb32.dtype == np.dtype(np.float32)
+        assert emb64.dtype == np.dtype(np.float64)
+        scale = np.max(np.abs(emb64)) or 1.0
+        np.testing.assert_allclose(emb32, emb64, rtol=1e-4, atol=1e-4 * scale)
+        losses64 = np.asarray(runs["float64"].result_.losses)
+        losses32 = np.asarray(runs["float32"].result_.losses)
+        np.testing.assert_allclose(losses32, losses64, rtol=1e-4, atol=1e-6)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_property_fast32_shadows_fast64_nonprivate(self, seed):
+        graph = _small_parity_graph()
+        runs = {}
+        for dtype in ("float64", "float32"):
+            runs[dtype] = SEGEmbTrainer(
+                proximity=DegreeProximity(), config=TRAINING, seed=seed,
+                fast_path=True, compute_dtype=dtype,
+            ).fit(graph)
+        emb64 = runs["float64"].embeddings_
+        emb32 = runs["float32"].embeddings_
+        scale = np.max(np.abs(emb64)) or 1.0
+        np.testing.assert_allclose(emb32, emb64, rtol=1e-4, atol=1e-4 * scale)
+        np.testing.assert_allclose(
+            np.asarray(runs["float32"].result_.losses),
+            np.asarray(runs["float64"].result_.losses),
+            rtol=1e-4, atol=1e-6,
+        )
+
+    def test_fast64_matches_default64_statistics_not_stream(self, graph):
+        """Fast and default paths draw different batch streams by design.
+
+        The losses should land in the same range (same objective, same
+        distribution) even though the sequences differ.
+        """
+        default = SEGEmbTrainer(
+            proximity=DegreeProximity(), config=TRAINING, seed=0
+        ).fit(graph)
+        fast = SEGEmbTrainer(
+            proximity=DegreeProximity(), config=TRAINING, seed=0, fast_path=True
+        ).fit(graph)
+        assert fast.result_.final_loss == pytest.approx(
+            default.result_.final_loss, rel=0.25
+        )
+
+    def test_artifact_roundtrip_replays_fastpath_and_dtype(self, tmp_path, graph):
+        model = get_method("se_gemb_deg").build(
+            training=TRAINING, seed=0, proximity_cache="off",
+            fast_path=True, compute_dtype="float32",
+        ).fit(graph)
+        path = model.save(tmp_path / "fast.npz")
+        reloaded = Embedder.load(path)
+        assert reloaded.fast_path is True
+        assert reloaded.compute_dtype == np.dtype(np.float32)
+        np.testing.assert_array_equal(reloaded.embeddings_, model.embeddings_)
+
+
+# --------------------------------------------------------------------- #
+# workspace reuse cannot leak state between fits
+# --------------------------------------------------------------------- #
+class TestWorkspaceReuse:
+    def test_refit_reuses_workspace_without_leaking(self, graph):
+        trainer = SEGEmbTrainer(
+            proximity=DegreeProximity(), config=TRAINING, seed=0, fast_path=True
+        )
+        first = trainer.fit(graph).embeddings_.copy()
+        workspace_first = trainer._workspace
+        second = trainer.fit(graph).embeddings_
+        assert trainer._workspace is workspace_first  # reused, not rebuilt
+        fresh = SEGEmbTrainer(
+            proximity=DegreeProximity(), config=TRAINING, seed=0, fast_path=True
+        ).fit(graph).embeddings_
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(second, fresh)
+
+    def test_refit_on_other_graph_rebuilds_and_stays_clean(self):
+        graph_a = load_dataset("smallworld", num_nodes=60, seed=1)
+        graph_b = load_dataset("smallworld", num_nodes=90, seed=2)
+        trainer = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(), training_config=TRAINING,
+            privacy_config=PRIVACY, seed=0, fast_path=True,
+        )
+        trainer.fit(graph_a)
+        ws_a = trainer._workspace
+        trainer.fit(graph_b)
+        assert trainer._workspace is not ws_a  # geometry changed
+        roundtrip = trainer.fit(graph_a).embeddings_
+        fresh = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(), training_config=TRAINING,
+            privacy_config=PRIVACY, seed=0, fast_path=True,
+        ).fit(graph_a).embeddings_
+        np.testing.assert_array_equal(roundtrip, fresh)
+
+
+# --------------------------------------------------------------------- #
+# steady-state steps do not allocate array-sized blocks (tracemalloc)
+# --------------------------------------------------------------------- #
+def _phase_peak(callable_, warmups=3):
+    """Peak traced allocation of one call, after warm-up calls."""
+    for _ in range(warmups):
+        callable_()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before = tracemalloc.get_traced_memory()[0]
+    callable_()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak - before
+
+
+class TestZeroAllocation:
+    # Python/numpy object overhead per phase (view structs, the loss float,
+    # numpy-internal cast buffers) is a few tens of KB; an array-sized
+    # allocation at these shapes is >= 192 KB (one [B, 1+k, r] float32
+    # block), and the default path peaks in the MBs.
+    PHASE_BUDGET = 128 * 1024
+
+    @pytest.fixture(scope="class")
+    def alloc_graph(self):
+        return load_dataset("smallworld", num_nodes=2000, seed=3)
+
+    def _engine(self, alloc_graph, private):
+        config = TrainingConfig(
+            embedding_dim=32, batch_size=512, learning_rate=0.1,
+            negative_samples=5, epochs=1, seed=0,
+        )
+        if private:
+            trainer = SEPrivGEmbTrainer(
+                proximity=DegreeProximity(), training_config=config,
+                privacy_config=PRIVACY, seed=0, fast_path=True,
+                compute_dtype="float32",
+            )
+        else:
+            trainer = SEGEmbTrainer(
+                proximity=DegreeProximity(), config=config, seed=0,
+                fast_path=True, compute_dtype="float32",
+            )
+        trainer._setup(alloc_graph, np.random.default_rng(0))
+        engine = trainer.engine
+        engine.run(3)  # steady state: caches warm, cast pools built
+        engine.update_rule.workspace = engine.workspace
+        return trainer, engine
+
+    @pytest.mark.parametrize("private", [False, True], ids=["direct", "perturbed"])
+    def test_gradient_perturb_descend_phases_allocate_no_arrays(
+        self, alloc_graph, private
+    ):
+        trainer, engine = self._engine(alloc_graph, private)
+        ws = engine.workspace
+        model, optimizer = engine.model, engine.optimizer
+        batch = engine.sampler.sample_batch_arrays(workspace=ws)
+
+        gradient_peak = _phase_peak(
+            lambda: engine.objective.batch_gradients(
+                model.w_in, model.w_out, batch, workspace=ws
+            )
+        )
+        assert gradient_peak < self.PHASE_BUDGET, f"gradients allocate {gradient_peak}"
+
+        gradients = engine.objective.batch_gradients(
+            model.w_in, model.w_out, batch, workspace=ws
+        )
+        update_peak = _phase_peak(
+            lambda: engine.update_rule.apply(model, optimizer, batch, gradients)
+        )
+        assert update_peak < self.PHASE_BUDGET, f"update allocates {update_peak}"
+
+    def test_full_fast_step_is_far_below_default_path(self, alloc_graph):
+        _, fast_engine = self._engine(alloc_graph, private=True)
+        fast_peak = _phase_peak(lambda: fast_engine.step())
+
+        default = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(),
+            training_config=TrainingConfig(
+                embedding_dim=32, batch_size=512, learning_rate=0.1,
+                negative_samples=5, epochs=1, seed=0,
+            ),
+            privacy_config=PRIVACY, seed=0,
+        )
+        default._setup(alloc_graph, np.random.default_rng(0))
+        default.engine.run(3)
+        default_peak = _phase_peak(lambda: default.engine.step())
+
+        assert fast_peak < default_peak / 8, (fast_peak, default_peak)
+        # one [B, 1+k, r] float32 block would already be 384 KiB
+        assert fast_peak < 256 * 1024
+
+
+# --------------------------------------------------------------------- #
+# alias-method negative sampling
+# --------------------------------------------------------------------- #
+class TestAliasSampler:
+    def test_alias_table_preserves_distribution(self):
+        graph = load_dataset("smallworld", num_nodes=200, seed=0)
+        sampler = UnigramNegativeSampler(graph, seed=0, use_alias=True)
+        # marginal check of the raw candidate draw (before rejection)
+        draws = sampler._draw_candidates(200_000)
+        observed = np.bincount(draws, minlength=graph.num_nodes) / draws.size
+        np.testing.assert_allclose(observed, sampler.probabilities, atol=5e-3)
+
+    def test_alias_draws_respect_rejection_contract(self, graph):
+        sampler = ProximityNegativeSampler.from_proximity(
+            graph, DegreeProximity().compute(graph), seed=3, use_alias=True
+        )
+        centers = np.arange(graph.num_nodes, dtype=np.int64)
+        negatives = sampler.sample_negatives_bulk(centers, 4)
+        assert negatives.shape == (graph.num_nodes, 4)
+        for center in range(graph.num_nodes):
+            for negative in negatives[center]:
+                assert not graph.has_edge(center, int(negative))
+                assert int(negative) != center
+
+    def test_alias_deterministic_per_seed(self, graph):
+        a = UnigramNegativeSampler(graph, seed=11, use_alias=True)
+        b = UnigramNegativeSampler(graph, seed=11, use_alias=True)
+        centers = np.arange(20, dtype=np.int64)
+        np.testing.assert_array_equal(
+            a.sample_negatives_bulk(centers, 3), b.sample_negatives_bulk(centers, 3)
+        )
+
+    def test_default_stream_is_not_alias_stream(self, graph):
+        default = UnigramNegativeSampler(graph, seed=11)
+        alias = UnigramNegativeSampler(graph, seed=11, use_alias=True)
+        assert default._alias_accept is None  # table only built when opted in
+        centers = np.arange(30, dtype=np.int64)
+        assert not np.array_equal(
+            default.sample_negatives_bulk(centers, 3),
+            alias.sample_negatives_bulk(centers, 3),
+        )
+
+    def test_fallback_complement_still_works_with_alias(self):
+        # near-complete graph: rejection fails, the masked complement kicks in
+        edges = [(u, v) for u in range(6) for v in range(u + 1, 6)
+                 if not (u == 0 and v == 5)]
+        from repro import Graph
+
+        graph = Graph(6, edges)
+        sampler = UnigramNegativeSampler(graph, seed=0, use_alias=True)
+        negatives = sampler.sample_negatives(0, 5)
+        assert set(negatives.tolist()) == {5}
+        with pytest.raises(GraphError, match="every other node"):
+            sampler.sample_negatives(1, 2)
+
+
+# --------------------------------------------------------------------- #
+# partial Fisher-Yates batch sampling
+# --------------------------------------------------------------------- #
+class TestFisherYatesSampler:
+    def _pool(self, graph):
+        proximity = DegreeProximity().compute(graph)
+        objective = StructurePreferenceObjective(proximity)
+        negative = UnigramNegativeSampler(graph, seed=0)
+        pool = generate_disjoint_subgraph_arrays(graph, negative, 3)
+        return pool.with_weights(objective.edge_weights(pool.centers, pool.positives))
+
+    def test_without_replacement_and_in_range(self, graph):
+        pool = self._pool(graph)
+        sampler = SubgraphSampler(pool, 32, seed=0, fast_path=True)
+        for _ in range(50):
+            indices = sampler.sample_indices()
+            assert indices.shape == (32,)
+            assert len(np.unique(indices)) == 32
+            assert indices.min() >= 0 and indices.max() < len(pool)
+
+    def test_marginal_uniformity(self, graph):
+        pool = self._pool(graph)
+        sampler = SubgraphSampler(pool, 16, seed=0, fast_path=True)
+        hits = np.zeros(len(pool))
+        rounds = 3000
+        for _ in range(rounds):
+            hits[sampler.sample_indices()] += 1
+        expected = 16 * rounds / len(pool)
+        assert np.all(hits > 0.5 * expected)
+        assert np.all(hits < 1.5 * expected)
+
+    def test_deterministic_per_seed_and_distinct_from_default(self, graph):
+        pool = self._pool(graph)
+        fast_a = SubgraphSampler(pool, 16, seed=5, fast_path=True)
+        fast_b = SubgraphSampler(pool, 16, seed=5, fast_path=True)
+        np.testing.assert_array_equal(
+            fast_a.sample_indices().copy(), fast_b.sample_indices().copy()
+        )
+        default = SubgraphSampler(pool, 16, seed=5)
+        fast_c = SubgraphSampler(pool, 16, seed=5, fast_path=True)
+        assert not np.array_equal(default.sample_indices(), fast_c.sample_indices())
+
+    def test_workspace_take_fills_buffers_in_place(self, graph):
+        pool = self._pool(graph)
+        sampler = SubgraphSampler(pool, 16, seed=0, fast_path=True)
+        ws = StepWorkspace(batch_size=16, num_negatives=pool.num_negatives,
+                           embedding_dim=4, num_nodes=graph.num_nodes,
+                           dtype="float32")
+        batch = sampler.sample_batch_arrays(workspace=ws)
+        assert batch is ws.batch
+        assert batch.weights.dtype == np.dtype(np.float32)
+        # the float32 weights mirror the float64 pool values for those rows
+        rows = sampler._fy_indices
+        np.testing.assert_allclose(
+            batch.weights, pool.weights[rows].astype(np.float32), rtol=0, atol=0
+        )
+
+
+# --------------------------------------------------------------------- #
+# SGD dtype guard (satellite)
+# --------------------------------------------------------------------- #
+class TestOptimizerDtypeGuard:
+    def test_descend_rejects_float_mismatch_naming_both(self):
+        optimizer = SGDOptimizer(0.1)
+        params = np.zeros((3, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError, match="float64.*float32"):
+            optimizer.descend(params, np.ones((3, 2), dtype=np.float64))
+
+    def test_descend_rows_and_unique_rows_reject_mismatch(self):
+        optimizer = SGDOptimizer(0.1)
+        params64 = np.zeros((5, 2))
+        rows = np.array([0, 1])
+        with pytest.raises(ConfigurationError, match="float32.*float64"):
+            optimizer.descend_rows(params64, rows, np.ones((2, 2), dtype=np.float32))
+        with pytest.raises(ConfigurationError, match="float32.*float64"):
+            optimizer.descend_unique_rows(
+                params64, rows, np.ones((2, 2), dtype=np.float32)
+            )
+
+    def test_integer_gradients_still_cast_losslessly(self):
+        optimizer = SGDOptimizer(0.5)
+        params = np.zeros((2, 2))
+        optimizer.descend(params, np.array([[2, 0], [0, 2]]))
+        np.testing.assert_allclose(params, [[-1.0, 0.0], [0.0, -1.0]])
+
+    def test_scratch_descents_match_plain(self):
+        optimizer = SGDOptimizer(0.2)
+        params_a = np.arange(12, dtype=np.float64).reshape(6, 2)
+        params_b = params_a.copy()
+        rows = np.array([0, 3, 3, 5])
+        grads = np.random.default_rng(0).standard_normal((4, 2))
+        optimizer.descend_rows(params_a, rows, grads)
+        optimizer.descend_rows(params_b, rows, grads, scratch=np.empty((4, 2)))
+        np.testing.assert_array_equal(params_a, params_b)
+
+        params_a = np.arange(12, dtype=np.float64).reshape(6, 2)
+        params_b = params_a.copy()
+        unique_rows = np.array([1, 4])
+        unique_grads = np.random.default_rng(1).standard_normal((2, 2))
+        optimizer.descend_unique_rows(params_a, unique_rows, unique_grads)
+        optimizer.descend_unique_rows(
+            params_b, unique_rows, unique_grads.copy(),
+            scratch=np.empty((2, 2)), gather=np.empty((2, 2)),
+        )
+        np.testing.assert_allclose(params_a, params_b, rtol=1e-15, atol=1e-15)
+
+
+# --------------------------------------------------------------------- #
+# the step profiler
+# --------------------------------------------------------------------- #
+class TestStepProfiler:
+    def test_profile_surfaces_phases_on_engine_result(self, graph):
+        trainer = _fast_setup(graph)
+        profiler = StepProfiler()
+        engine = trainer.engine
+        engine.hooks = (*engine.hooks, profiler)
+        result = engine.run(8)
+        profile = result.profile
+        assert profile is not None and profile.steps == 8
+        assert set(profile.phase_seconds) == {"sample", "gradients", "descend"}
+        assert all(seconds >= 0 for seconds in profile.phase_seconds.values())
+        assert profile.total_seconds > 0
+        payload = profile.to_dict()
+        assert payload["steps"] == 8
+        assert set(payload["phase_mean_seconds"]) == set(profile.phase_seconds)
+
+    def test_private_run_records_perturb_phase(self, graph):
+        trainer = _fast_setup(graph, private=True)
+        profiler = StepProfiler()
+        engine = trainer.engine
+        engine.hooks = (*engine.hooks, profiler)
+        result = engine.run(5)
+        assert set(result.profile.phase_seconds) == {
+            "sample", "gradients", "perturb", "descend",
+        }
+
+    def test_profiler_detaches_after_run(self, graph):
+        trainer = _fast_setup(graph)
+        profiler = StepProfiler()
+        engine = trainer.engine
+        engine.hooks = (*engine.hooks, profiler)
+        engine.run(3)
+        assert engine.profiler is None
+        assert engine.update_rule.profiler is None
+        # a second run re-profiles from scratch
+        second = engine.run(4)
+        assert second.profile.steps == 4
+
+    def test_default_path_profiles_too(self, graph):
+        trainer = SEGEmbTrainer(proximity=DegreeProximity(), config=TRAINING, seed=0)
+        trainer._setup(graph, np.random.default_rng(0))
+        profiler = StepProfiler()
+        engine = trainer.engine
+        engine.hooks = (*engine.hooks, profiler)
+        result = engine.run(4)
+        assert result.profile.steps == 4
+        assert "descend" in result.profile.phase_seconds
+
+
+# --------------------------------------------------------------------- #
+# engine-level wiring
+# --------------------------------------------------------------------- #
+class TestEngineWorkspaceWiring:
+    def test_engine_rejects_model_dtype_mismatch(self, graph):
+        trainer = _fast_setup(graph, dtype="float32")
+        engine = trainer.engine
+        engine.model = SkipGramModel(
+            graph.num_nodes, TRAINING.embedding_dim, seed=0, dtype="float64"
+        )
+        with pytest.raises(ConfigurationError, match="compute"):
+            engine.run(1)
+
+    def test_private_fast_run_spends_budget_like_default(self, graph):
+        default = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(), training_config=TRAINING,
+            privacy_config=PRIVACY, seed=0,
+        ).fit(graph)
+        fast = SEPrivGEmbTrainer(
+            proximity=DegreeProximity(), training_config=TRAINING,
+            privacy_config=PRIVACY, seed=0, fast_path=True,
+        ).fit(graph)
+        # the accountant is driven by (sigma, gamma, steps): identical setups
+        # must spend identical budgets on both paths
+        assert fast.result_.privacy_spent.epsilon == pytest.approx(
+            default.result_.privacy_spent.epsilon
+        )
+        assert fast.result_.epochs_run == default.result_.epochs_run
+
+    def test_perturbed_update_workspace_path_used(self, graph):
+        trainer = _fast_setup(graph, private=True)
+        engine = trainer.engine
+        assert isinstance(engine.update_rule, PerturbedUpdate)
+        ws = engine.workspace
+        assert ws is not None
+        engine.run(2)
+        # the reused result holder was filled by the last step
+        assert ws.perturb_result.w_in_rows is not None
+        assert ws.perturb_result.batch_size == trainer._sampler.batch_size
