@@ -1,6 +1,7 @@
 """Skip-gram graph embedding: the paper's core (SE-GEmb / SE-PrivGEmb)."""
 
 from .skipgram import SkipGramModel
+from .shared_model import SharedModelHandle, SharedSkipGramModel
 from .objectives import (
     StructurePreferenceObjective,
     pair_loss,
@@ -19,6 +20,8 @@ from .private_trainer import SEPrivGEmbTrainer, PrivateEmbeddingResult
 
 __all__ = [
     "SkipGramModel",
+    "SharedSkipGramModel",
+    "SharedModelHandle",
     "StructurePreferenceObjective",
     "pair_loss",
     "pair_gradients",

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..config import PrivacyConfig, TrainingConfig
 from ..engine import (
+    EngineResult,
     IterateAveragingHook,
     PerturbedUpdate,
     RdpAccountingHook,
@@ -140,6 +141,20 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         ``"float64"`` (default) or ``"float32"`` for the model matrices
         and gradient arithmetic.  The RDP accountant, sensitivities and
         noise calibration always stay float64.
+    workers:
+        ``1`` (default) trains serially on the existing engine path,
+        bit-for-bit.  ``> 1`` shards the private step stream over that
+        many forked hogwild workers updating a shared-memory model
+        (:mod:`repro.engine.hogwild`).  Privacy is composed honestly
+        across the shards: the budgeted step count is fixed up front via
+        :meth:`~repro.privacy.accountant.RdpAccountant.max_steps` (the
+        same count the serial gate admits), every worker draws its own
+        float64 noise from a spawned stream, and the accountant composes
+        the per-shard counts with
+        :meth:`~repro.privacy.accountant.RdpAccountant.step_shards` —
+        RDP composition is linear in steps at fixed γ, so the reported
+        (ε, δ) equals the serial accountant's exactly.  Falls back to
+        serial with a warning where ``fork`` is unavailable.
 
     Passing the graph as the first constructor argument (the pre-estimator
     convention, followed by ``train()``) is still supported but deprecated.
@@ -169,6 +184,7 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         proximity_cache="off",
         fast_path: bool = False,
         compute_dtype="float64",
+        workers: int = 1,
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -212,6 +228,7 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         self._proximity_cache = proximity_cache
         self.fast_path = bool(fast_path)
         self.compute_dtype = resolve_compute_dtype(compute_dtype)
+        self.workers = self._validate_workers(workers)
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.accountant: RdpAccountant | None = None
@@ -276,13 +293,11 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
             raise TrainingError("cannot train on a graph with no edges")
         self.graph = graph
         self._rng = rng
+        self._active_workers = self._resolve_active_workers()
         self.proximity_matrix = self._resolve_proximity_matrix(graph, proximity)
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
-        self.model = SkipGramModel(
-            graph.num_nodes, self.training_config.embedding_dim, seed=self._rng,
-            dtype=self.compute_dtype,
-        )
+        self.model = self._make_model(graph)
         self.optimizer = SGDOptimizer(self.training_config.learning_rate)
 
         # Theorem-3 negative sampler: candidates uniform, mass min(P)/Σ_j p_ij.
@@ -340,11 +355,38 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
             workspace=workspace,
         )
 
+    def _hogwild_update_rule(self, rng):
+        # Each worker must draw its own Gaussian noise: forked children would
+        # otherwise share the parent strategy's COW generator state and emit
+        # identical perturbations.  Rebuild the strategy from its calibration
+        # on the worker's spawned stream.
+        if isinstance(self._perturbation_spec, PerturbationStrategy):
+            strategy = self._perturbation_spec
+            perturbation = get_perturbation(
+                strategy.name,
+                clipping_threshold=strategy.clipping_threshold,
+                noise_multiplier=strategy.noise_multiplier,
+                seed=rng,
+            )
+        else:
+            perturbation = get_perturbation(
+                self._perturbation_spec,
+                clipping_threshold=self.privacy_config.clipping_threshold,
+                noise_multiplier=self.privacy_config.noise_multiplier,
+                seed=rng,
+            )
+        return PerturbedUpdate(
+            perturbation, gradient_normalization=self.gradient_normalization
+        )
+
     def _run_engine(self, epochs: int | None) -> FitResult:
         epochs = int(epochs) if epochs is not None else self.training_config.epochs
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
-        result = self.engine.run(epochs)
+        if getattr(self, "_active_workers", 1) > 1:
+            result = self._run_private_hogwild(epochs)
+        else:
+            result = self.engine.run(epochs)
         spent = self.accountant.get_privacy_spent(self.privacy_config.delta)
         self._embeddings = result.embeddings
         self._context_embeddings = result.context_embeddings
@@ -354,6 +396,43 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
             stopped_early=result.stopped_early,
             privacy_spent=spent,
         )
+
+    def _run_private_hogwild(self, epochs: int) -> EngineResult:
+        """Run the budget-gated step stream across the hogwild pool.
+
+        The serial path gates per step (``RdpAccountingHook``); workers can't
+        share that gate cheaply, so the equivalent budget is fixed up front:
+        ``max_steps`` is exactly the count the serial gate admits, and the
+        accountant then composes the actual per-shard counts.
+        """
+        remaining = max(
+            0,
+            self.accountant.max_steps(
+                self.privacy_config.epsilon, self.privacy_config.delta
+            )
+            - self.accountant.steps,
+        )
+        total = min(int(epochs), remaining)
+        if total == 0:
+            embeddings = self.model.embeddings()
+            context = self.model.w_out.copy()
+            self.model.release()
+            return EngineResult(
+                embeddings=embeddings,
+                context_embeddings=context,
+                losses=[],
+                epochs_run=0,
+                stopped_early=True,
+            )
+        result = self._run_hogwild(
+            total,
+            iterate_averaging=self.iterate_averaging,
+            stopped_early=total < int(epochs),
+        )
+        self.accountant.step_shards(
+            [report.steps for report in self.last_worker_reports]
+        )
+        return result
 
     # ------------------------------------------------------------------ #
     def max_private_epochs(self) -> int:

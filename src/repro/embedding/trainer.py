@@ -26,17 +26,21 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 
 import numpy as np
 
 from ..config import TrainingConfig
 from ..engine import (
     DirectSparseUpdate,
+    EngineResult,
     LossLoggingHook,
     StepWorkspace,
     SubgraphBatch,
     TrainingEngine,
+    WorkerReport,
     resolve_compute_dtype,
+    run_hogwild,
 )
 from ..exceptions import TrainingError
 from ..graph import Graph
@@ -50,10 +54,12 @@ from ..graph.sampling import (
 from ..models.base import Embedder, FitResult
 from ..proximity.base import ProximityMatrix, ProximityMeasure
 from ..proximity.cache import resolve_cache_policy
+from ..utils import mp as _mp
 from ..utils.logging import get_logger
 from ..utils.rng import ensure_rng
 from .objectives import StructurePreferenceObjective
 from .optimizer import SGDOptimizer
+from .shared_model import SharedSkipGramModel
 from .skipgram import SkipGramModel
 
 __all__ = ["EmbeddingResult", "SEGEmbTrainer"]
@@ -113,6 +119,39 @@ class SkipGramTrainerBase(Embedder):
     proximity_matrix: ProximityMatrix | None
     _proximity_cache: object
     _seed: object
+    #: hogwild worker count requested at construction (1 = serial path)
+    workers: int = 1
+    #: have hogwild workers report tracemalloc evidence (tests/benchmarks)
+    trace_hogwild_memory: bool = False
+    #: per-worker reports of the most recent hogwild fit
+    last_worker_reports: "list[WorkerReport] | None" = None
+
+    @staticmethod
+    def _validate_workers(workers: int) -> int:
+        workers = int(workers)
+        if workers < 1:
+            raise TrainingError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _resolve_active_workers(self) -> int:
+        """Fit-time worker count: the configured knob, fork-gated once."""
+        if self.workers <= 1:
+            return 1
+        return _mp.resolve_fork_workers(self.workers, "hogwild training")
+
+    def _make_model(self, graph: Graph) -> SkipGramModel:
+        """Build the model — shared-memory backed when hogwild will run.
+
+        Both classes draw initialisation through the identical RNG stream,
+        so the choice never perturbs any downstream sampling stream.
+        """
+        model_cls = SharedSkipGramModel if self._active_workers > 1 else SkipGramModel
+        return model_cls(
+            graph.num_nodes,
+            self.training_config.embedding_dim,
+            seed=self._rng,
+            dtype=self.compute_dtype,
+        )
 
     def _fit_rng(self) -> np.random.Generator:
         # training_config is the protocol-wide name (SEGEmbTrainer aliases
@@ -194,7 +233,79 @@ class SkipGramTrainerBase(Embedder):
             options["fast_path"] = True
         if self.compute_dtype != np.dtype(np.float64):
             options["compute_dtype"] = self.compute_dtype.name
+        if self.workers != 1:
+            options["workers"] = self.workers
         return options
+
+    # ------------------------------------------------------------------ #
+    # hogwild execution (workers > 1)
+    # ------------------------------------------------------------------ #
+    def _hogwild_update_rule(self, rng: np.random.Generator):
+        """The per-worker update rule; the private trainer overrides this."""
+        del rng  # the exact scatter update draws no randomness
+        return DirectSparseUpdate()
+
+    def _hogwild_engine(self, rng: np.random.Generator) -> TrainingEngine:
+        """Build one worker's private engine over the shared model.
+
+        Runs *inside* the forked worker: everything heavy (subgraph pool,
+        proximity weights, the shared model) is inherited zero-copy; only
+        the sampler, optimizer, update rule and step workspace are
+        worker-private, each seeded from the worker's spawned stream.
+        Workers always run the zero-allocation fast path — a preallocated
+        :class:`~repro.engine.StepWorkspace` per worker is the PR-5
+        invariant this subsystem preserves.
+        """
+        pool = self._subgraph_pool
+        sampler = SubgraphSampler(
+            pool, self.training_config.batch_size, seed=rng, fast_path=True
+        )
+        workspace = StepWorkspace(
+            batch_size=sampler.batch_size,
+            num_negatives=pool.num_negatives,
+            embedding_dim=self.training_config.embedding_dim,
+            num_nodes=self.graph.num_nodes,
+            dtype=self.compute_dtype,
+        )
+        return TrainingEngine(
+            model=self.model,
+            optimizer=SGDOptimizer(self.training_config.learning_rate),
+            objective=self.objective,
+            sampler=sampler,
+            update_rule=self._hogwild_update_rule(rng),
+            hooks=(),
+            workspace=workspace,
+        )
+
+    def _run_hogwild(
+        self,
+        total_steps: int,
+        iterate_averaging: bool = False,
+        stopped_early: bool = False,
+    ) -> EngineResult:
+        """Shard ``total_steps`` over the hogwild pool and release the blocks.
+
+        The shared-memory segments are unlinked in the ``finally`` — also
+        when a worker crashes — after which ``self.model`` holds ordinary
+        private arrays with the final trained values.
+        """
+        try:
+            run = run_hogwild(
+                model=self.model,
+                engine_factory=self._hogwild_engine,
+                total_steps=total_steps,
+                workers=self._active_workers,
+                seed=self._rng,
+                iterate_averaging=iterate_averaging,
+                trace_memory=self.trace_hogwild_memory,
+            )
+        finally:
+            self.model.release()
+        self.last_worker_reports = run.reports
+        result = run.result
+        if stopped_early:
+            result = _dc_replace(result, stopped_early=True)
+        return result
 
     def _ensure_workspace(self, pool: SubgraphBatch, num_nodes: int) -> StepWorkspace:
         """Create (or reuse, when the geometry matches) the step workspace.
@@ -274,6 +385,15 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         ``"float64"`` (default) or ``"float32"``.  Controls the model
         matrices and all gradient arithmetic; privacy-relevant math (noise
         draws, sensitivities, the accountant) always stays float64.
+    workers:
+        ``1`` (default) trains serially on the existing engine path,
+        bit-for-bit.  ``> 1`` backs the model with shared memory and
+        shards the step stream over that many forked hogwild workers
+        (:mod:`repro.engine.hogwild`); each worker runs its own
+        zero-allocation workspace and a spawned RNG stream.  Multi-worker
+        results are reproducible in distribution only (racy lock-free
+        updates).  Falls back to serial with a warning where ``fork`` is
+        unavailable.
 
     Passing the graph as the first constructor argument (the pre-estimator
     convention, followed by ``train()``) is still supported but deprecated.
@@ -292,6 +412,7 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         proximity_cache="off",
         fast_path: bool = False,
         compute_dtype="float64",
+        workers: int = 1,
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -322,6 +443,7 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         self._proximity_cache = proximity_cache
         self.fast_path = bool(fast_path)
         self.compute_dtype = resolve_compute_dtype(compute_dtype)
+        self.workers = self._validate_workers(workers)
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.proximity_matrix: ProximityMatrix | None = None
@@ -375,13 +497,11 @@ class SEGEmbTrainer(SkipGramTrainerBase):
             raise TrainingError("cannot train on a graph with no edges")
         self.graph = graph
         self._rng = rng
+        self._active_workers = self._resolve_active_workers()
         self.proximity_matrix = self._resolve_proximity_matrix(graph, proximity)
         self.objective = StructurePreferenceObjective(self.proximity_matrix)
 
-        self.model = SkipGramModel(
-            graph.num_nodes, self.config.embedding_dim, seed=self._rng,
-            dtype=self.compute_dtype,
-        )
+        self.model = self._make_model(graph)
         self.optimizer = SGDOptimizer(self.config.learning_rate)
 
         if self.negative_sampling == "proximity":
@@ -424,7 +544,10 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         epochs = int(epochs) if epochs is not None else self.config.epochs
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
-        result = self.engine.run(epochs)
+        if getattr(self, "_active_workers", 1) > 1:
+            result = self._run_hogwild(epochs)
+        else:
+            result = self.engine.run(epochs)
         self._embeddings = result.embeddings
         self._context_embeddings = result.context_embeddings
         return FitResult(

@@ -21,6 +21,7 @@ from .hooks import (
     LossLoggingHook,
     RdpAccountingHook,
 )
+from .hogwild import HogwildRun, WorkerReport, plan_shards, run_hogwild
 from .profiler import StepProfile, StepProfiler
 from .updates import DirectSparseUpdate, PerturbedUpdate, UpdateRule
 from .workspace import StepWorkspace, WorkspacePerturbedGradients, resolve_compute_dtype
@@ -36,6 +37,10 @@ __all__ = [
     "IterateAveragingHook",
     "StepProfile",
     "StepProfiler",
+    "HogwildRun",
+    "WorkerReport",
+    "plan_shards",
+    "run_hogwild",
     "StepWorkspace",
     "WorkspacePerturbedGradients",
     "UpdateRule",

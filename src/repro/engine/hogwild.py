@@ -1,0 +1,469 @@
+"""Hogwild execution: shard one engine run across forked worker processes.
+
+The paper's Algorithm-1 training step touches only the few rows of one
+disjoint edge subgraph (``1 + B(k+2)`` rows out of ``|V|``), which makes
+the training loop a textbook hogwild workload: workers apply their sparse
+scatter updates to *shared* parameter matrices without locks, and the rare
+write collisions on popular rows act like slightly stale gradients rather
+than corruption (Niu et al., 2011).  This module provides the pool:
+
+* the model's matrices must live in shared memory (e.g.
+  :class:`~repro.embedding.shared_model.SharedSkipGramModel`) — workers
+  are forked and update the very same pages the parent reads;
+* the requested step count is split into balanced shards
+  (:func:`plan_shards`), one forked worker per shard;
+* each worker derives its own namespaced RNG stream from a
+  ``SeedSequence.spawn`` child and builds a private engine around the
+  shared model via the caller's ``engine_factory`` — its own sampler,
+  optimizer, perturbation and preallocated
+  :class:`~repro.engine.workspace.StepWorkspace`, so the PR-5
+  zero-allocation invariant holds per worker and nothing but the model
+  pages is shared on the hot path;
+* per-worker losses, :class:`~repro.engine.profiler.StepProfile` results
+  and (opt-in) tracemalloc evidence come back over a pipe and are merged
+  into one :class:`~repro.engine.core.EngineResult`.
+
+Like the rest of the engine, this module is duck-typed and imports nothing
+from the embedding package: it needs a model with ``w_in`` / ``w_out`` /
+``embeddings()`` whose arrays are fork-shared, and a factory returning a
+:class:`~repro.engine.core.TrainingEngine` over it.
+
+What is and is not deterministic: the *set* of batches each shard samples
+and the noise each shard draws are fixed by the spawned seeds, but the
+interleaving of the racy parameter writes is scheduler-dependent, so
+multi-worker results are reproducible only in distribution.  ``workers=1``
+never enters this module — trainers keep the exact serial path for it.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..utils import mp as _mp
+from ..utils.logging import get_logger
+from .core import EngineResult, TrainingEngine
+from .hooks import EngineHook
+from .profiler import StepProfile, StepProfiler
+
+__all__ = ["HogwildRun", "WorkerReport", "plan_shards", "run_hogwild"]
+
+_LOGGER = get_logger("engine.hogwild")
+
+#: steps a traced worker runs before the measured tracemalloc window opens
+#: (lets caches, list over-allocation and tracemalloc's own tables settle)
+_TRACE_WARMUP_STEPS = 8
+
+
+def plan_shards(total_steps: int, workers: int) -> list[int]:
+    """Split ``total_steps`` into at most ``workers`` balanced shard sizes.
+
+    Earlier shards absorb the remainder; no shard is ever empty (a worker
+    must run at least one step), so fewer than ``workers`` shards come back
+    when there are fewer steps than workers.
+    """
+    total_steps = int(total_steps)
+    workers = int(workers)
+    if total_steps < 1:
+        raise TrainingError(f"total_steps must be positive, got {total_steps}")
+    if workers < 1:
+        raise TrainingError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, total_steps)
+    base, extra = divmod(total_steps, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+@dataclass
+class WorkerReport:
+    """What one shard reports back to the parent."""
+
+    shard: int
+    steps: int
+    losses: list[float]
+    profile: StepProfile
+    #: tracemalloc growth in bytes over ``traced_steps`` steady-state steps
+    #: (-1 when memory tracing was off)
+    traced_bytes: int = -1
+    traced_steps: int = 0
+    pid: int = 0
+
+
+@dataclass
+class HogwildRun:
+    """Outcome of :func:`run_hogwild`: the merged result plus per-worker detail."""
+
+    result: EngineResult
+    reports: list[WorkerReport] = field(default_factory=list)
+
+    @property
+    def shard_steps(self) -> list[int]:
+        """Steps actually run per shard (what the accountant composes over)."""
+        return [report.steps for report in self.reports]
+
+
+class _IterateSumHook(EngineHook):
+    """Accumulate post-step iterates in float64, across *multiple* runs.
+
+    Unlike :class:`~repro.engine.hooks.IterateAveragingHook` it neither
+    resets on ``on_train_start`` (a traced worker runs the engine twice)
+    nor replaces the result — the parent pools the raw sums from all
+    workers and divides by the global step count once.
+    """
+
+    def __init__(self) -> None:
+        self.sum_w_in: np.ndarray | None = None
+        self.sum_w_out: np.ndarray | None = None
+        self.steps = 0
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        self.steps += 1
+        if self.sum_w_in is None:
+            self.sum_w_in = engine.model.w_in.astype(np.float64, copy=True)
+            self.sum_w_out = engine.model.w_out.astype(np.float64, copy=True)
+        else:
+            self.sum_w_in += engine.model.w_in
+            self.sum_w_out += engine.model.w_out
+
+
+class _SharedAccumulator:
+    """Two shared float64 blocks pooling the workers' iterate sums.
+
+    Workers add their local sums under ``lock`` once at shard end (two
+    adds per worker per run, not per step), the parent divides by the
+    total step count.  The parent creates, owns and unlinks the blocks.
+    """
+
+    def __init__(self, shape: tuple[int, int]) -> None:
+        nbytes = int(np.prod(shape)) * np.dtype(np.float64).itemsize
+        self._blocks = (
+            _shm.SharedMemory(create=True, size=nbytes),
+            _shm.SharedMemory(create=True, size=nbytes),
+        )
+        self.sum_w_in = np.ndarray(shape, dtype=np.float64, buffer=self._blocks[0].buf)
+        self.sum_w_out = np.ndarray(shape, dtype=np.float64, buffer=self._blocks[1].buf)
+        self.sum_w_in[:] = 0.0
+        self.sum_w_out[:] = 0.0
+        self._owner_pid = os.getpid()
+
+    def add(self, sum_w_in: np.ndarray, sum_w_out: np.ndarray) -> None:
+        self.sum_w_in += sum_w_in
+        self.sum_w_out += sum_w_out
+
+    def destroy(self) -> None:
+        """Drop the views, close the mappings and (in the owner) unlink."""
+        unlink = os.getpid() == self._owner_pid
+        self.sum_w_in = None  # type: ignore[assignment]
+        self.sum_w_out = None  # type: ignore[assignment]
+        for block in self._blocks:
+            if unlink:
+                try:
+                    block.unlink()
+                except FileNotFoundError:
+                    pass
+            try:
+                block.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass
+
+
+def _seed_sequence(
+    seed: int | np.random.SeedSequence | np.random.Generator | None,
+) -> np.random.SeedSequence:
+    """Normalise any accepted seed form into a spawnable ``SeedSequence``."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        # consume one draw so a trainer can thread its master generator in
+        # without two fits sharing shard streams
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+class _TraceMemoryHook(EngineHook):
+    """Sample tracemalloc's current size at every step boundary.
+
+    The reported growth is last-sample minus first-sample: it covers the
+    steady-state step loop only, excluding both run-entry allocations and
+    the engine's end-of-run result snapshot (two ``|V| x d`` copies — a
+    constant handover cost, not per-step leak surface).
+    """
+
+    def __init__(self) -> None:
+        self.first: int | None = None
+        self.last: int | None = None
+        self.samples = 0
+
+    def after_step(self, engine: TrainingEngine, epoch: int, loss: float) -> None:
+        current = tracemalloc.get_traced_memory()[0]
+        if self.first is None:
+            self.first = current
+        self.last = current
+        self.samples += 1
+
+
+def _run_shard(
+    engine_factory: Callable[[np.random.Generator], TrainingEngine],
+    seed: np.random.SeedSequence,
+    steps: int,
+    iterate_averaging: bool,
+    trace_memory: bool,
+    shard: int,
+) -> tuple[WorkerReport, _IterateSumHook | None]:
+    """Run one shard's steps in the current process; shared by pool and inline."""
+    rng = np.random.default_rng(seed)
+    engine = engine_factory(rng)
+    profiler = StepProfiler()
+    averager = _IterateSumHook() if iterate_averaging else None
+    extra_hooks: list[EngineHook] = [profiler]
+    if averager is not None:
+        extra_hooks.append(averager)
+    engine.hooks = tuple(engine.hooks) + tuple(extra_hooks)
+
+    losses: list[float] = []
+    profiles: list[StepProfile] = []
+    traced_bytes = -1
+    traced_steps = 0
+    measured = steps
+    tracer: _TraceMemoryHook | None = None
+    if trace_memory and steps > _TRACE_WARMUP_STEPS:
+        result = engine.run(_TRACE_WARMUP_STEPS)
+        losses.extend(result.losses)
+        profiles.append(profiler.last_profile)
+        measured = steps - _TRACE_WARMUP_STEPS
+        tracer = _TraceMemoryHook()
+        engine.hooks = tuple(engine.hooks) + (tracer,)
+        tracemalloc.start()
+    result = engine.run(measured)
+    if tracer is not None:
+        tracemalloc.stop()
+        if tracer.samples > 1:
+            traced_bytes = tracer.last - tracer.first
+            traced_steps = tracer.samples - 1
+    losses.extend(result.losses)
+    profiles.append(profiler.last_profile)
+    profile = StepProfile.merge([p for p in profiles if p is not None])
+    profile.workers = 1  # a traced shard merges its own warmup+measured runs
+    report = WorkerReport(
+        shard=shard,
+        steps=len(losses),
+        losses=losses,
+        profile=profile,
+        traced_bytes=traced_bytes,
+        traced_steps=traced_steps,
+        pid=os.getpid(),
+    )
+    return report, averager
+
+
+def _worker_entry(
+    engine_factory,
+    seed,
+    steps,
+    iterate_averaging,
+    trace_memory,
+    shard,
+    accumulator,
+    lock,
+    conn,
+) -> None:
+    """Forked worker body: run the shard, pool iterate sums, report back."""
+    try:
+        report, averager = _run_shard(
+            engine_factory, seed, steps, iterate_averaging, trace_memory, shard
+        )
+        if averager is not None and averager.steps > 0:
+            with lock:
+                accumulator.add(averager.sum_w_in, averager.sum_w_out)
+        conn.send(("ok", report))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+def _interleave_losses(per_shard: Sequence[Sequence[float]]) -> list[float]:
+    """Round-robin merge of the shard loss traces.
+
+    Shards progress concurrently, so interleaving step ``j`` of every
+    shard approximates the chronological loss curve of the combined run
+    far better than concatenation would.
+    """
+    merged: list[float] = []
+    for j in range(max((len(tr) for tr in per_shard), default=0)):
+        for trace in per_shard:
+            if j < len(trace):
+                merged.append(trace[j])
+    return merged
+
+
+def run_hogwild(
+    *,
+    model,
+    engine_factory: Callable[[np.random.Generator], TrainingEngine],
+    total_steps: int,
+    workers: int,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+    iterate_averaging: bool = False,
+    trace_memory: bool = False,
+) -> HogwildRun:
+    """Run ``total_steps`` engine steps sharded over forked hogwild workers.
+
+    Parameters
+    ----------
+    model:
+        The shared-memory backed model every worker's engine updates in
+        place.  Its ``w_in`` must be fork-shared (not merely copy-on-write)
+        or the workers' updates would never reach the parent.
+    engine_factory:
+        Callable building a fresh :class:`TrainingEngine` over ``model``
+        from a worker-private generator.  It runs *inside* the forked
+        worker, so it may close over arbitrarily large parent state
+        (subgraph pools, objectives) at zero copy cost.
+    total_steps:
+        Combined number of steps across all shards (the privacy-relevant
+        count — compose it with
+        :meth:`~repro.privacy.accountant.RdpAccountant.step_shards`).
+    workers:
+        Requested pool size; degraded to serial-in-process with a warning
+        when ``fork`` is unavailable.
+    seed:
+        Root of the per-shard streams (``SeedSequence.spawn`` children).
+    iterate_averaging:
+        Pool Polyak–Ruppert iterate sums across the workers and publish
+        the global average instead of the final iterates.
+    trace_memory:
+        Have every worker measure its steady-state allocation growth with
+        ``tracemalloc`` (reported per worker, not enabled in the parent).
+    """
+    if total_steps < 1:
+        raise TrainingError(f"total_steps must be positive, got {total_steps}")
+    released = getattr(model, "released", False)
+    if released:
+        raise TrainingError(
+            "the shared model was already released; fit again to train more"
+        )
+    workers = _mp.resolve_fork_workers(int(workers), "hogwild training")
+    shards = plan_shards(total_steps, max(1, workers))
+    seeds = _seed_sequence(seed).spawn(len(shards))
+
+    if len(shards) == 1:
+        # fork unavailable or a single-step run: same machinery, no pool
+        report, averager = _run_shard(
+            engine_factory, seeds[0], shards[0], iterate_averaging, trace_memory, 0
+        )
+        reports = [report]
+        if averager is not None and averager.steps > 0:
+            embeddings = (averager.sum_w_in / averager.steps).astype(
+                model.w_in.dtype, copy=False
+            )
+            context = (averager.sum_w_out / averager.steps).astype(
+                model.w_out.dtype, copy=False
+            )
+        else:
+            embeddings, context = model.embeddings(), model.w_out.copy()
+        return HogwildRun(
+            result=EngineResult(
+                embeddings=embeddings,
+                context_embeddings=context,
+                losses=list(report.losses),
+                epochs_run=report.steps,
+                profile=report.profile,
+            ),
+            reports=reports,
+        )
+
+    ctx = get_context("fork")
+    lock = ctx.Lock()
+    accumulator = (
+        _SharedAccumulator(model.w_in.shape) if iterate_averaging else None
+    )
+    processes = []
+    try:
+        for shard, (steps, shard_seed) in enumerate(zip(shards, seeds)):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_entry,
+                args=(
+                    engine_factory,
+                    shard_seed,
+                    steps,
+                    iterate_averaging,
+                    trace_memory,
+                    shard,
+                    accumulator,
+                    lock,
+                    child_conn,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            processes.append((process, parent_conn))
+
+        reports = []
+        failures: list[str] = []
+        for shard, (process, conn) in enumerate(processes):
+            # receive before join: a large report must not deadlock the pipe
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "crashed", None
+            finally:
+                conn.close()
+            process.join()
+            if status == "ok":
+                reports.append(payload)
+            elif status == "error":
+                failures.append(f"shard {shard}: {payload}")
+            else:
+                failures.append(
+                    f"shard {shard}: worker pid={process.pid} died with "
+                    f"exit code {process.exitcode}"
+                )
+        if failures:
+            raise TrainingError(
+                "hogwild worker failure — " + "; ".join(failures)
+            )
+
+        total_run = sum(report.steps for report in reports)
+        if iterate_averaging and total_run > 0:
+            embeddings = (accumulator.sum_w_in / total_run).astype(
+                model.w_in.dtype, copy=False
+            )
+            context = (accumulator.sum_w_out / total_run).astype(
+                model.w_out.dtype, copy=False
+            )
+        else:
+            embeddings, context = model.embeddings(), model.w_out.copy()
+        result = EngineResult(
+            embeddings=embeddings,
+            context_embeddings=context,
+            losses=_interleave_losses([report.losses for report in reports]),
+            epochs_run=total_run,
+            profile=StepProfile.merge([report.profile for report in reports]),
+        )
+        _LOGGER.debug(
+            "hogwild run: %d steps over %d workers (%s)",
+            total_run,
+            len(reports),
+            result.profile,
+        )
+        return HogwildRun(result=result, reports=reports)
+    finally:
+        for process, _ in processes:
+            if process.is_alive():  # pragma: no cover - only on failure paths
+                process.terminate()
+                process.join()
+        if accumulator is not None:
+            accumulator.destroy()

@@ -32,7 +32,6 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
-import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -45,6 +44,7 @@ from ..config import PrivacyConfig, TrainingConfig
 from ..exceptions import ConfigurationError, OrchestrationError
 from ..graph import Graph, load_dataset
 from ..models import get_method
+from ..utils import mp as _mp
 from ..utils.logging import get_logger
 from .store import RunStore
 
@@ -303,6 +303,7 @@ def _run_strucequ(spec: RunSpec) -> dict[str, Any]:
         perturbation=spec.perturbation,
         deepwalk_window=spec.deepwalk_window,
         evaluation_seed=evaluation_seed_sequence(spec),
+        workers=int(spec.option("train_workers", 1)),
     )
     return {"metric": spec.metric, "mean": float(mean), "std": float(std), "repeats": spec.repeats}
 
@@ -319,6 +320,7 @@ def _run_linkpred(spec: RunSpec) -> dict[str, Any]:
         seed=cell_seed_sequence(spec),
         perturbation=spec.perturbation,
         deepwalk_window=spec.deepwalk_window,
+        workers=int(spec.option("train_workers", 1)),
     )
     return {"metric": spec.metric, "mean": float(mean), "std": float(std), "repeats": spec.repeats}
 
@@ -456,6 +458,21 @@ def execute(
         progress(f"resume: {report.reused}/{len(specs)} cells already stored")
 
     if pending:
+        if workers > 1 and not _mp.fork_available():
+            # runtime-registered kinds reach pool workers only through fork
+            # inheritance; under spawn/forkserver the worker would fail with
+            # a baffling "unknown run kind" — degrade to the serial path
+            # (with a warning) instead of crashing the sweep
+            custom = sorted(
+                {s.kind for _, s in pending} & (set(_KIND_RUNNERS) - set(_LAZY_KINDS))
+            )
+            if custom:
+                workers = _mp.serial_fallback(
+                    f"kinds {custom} were registered at runtime and cannot be "
+                    "dispatched to pool workers under the "
+                    f"{_mp.start_method()!r} start method"
+                )
+                report.workers = workers
         if workers == 1:
             for index, spec in pending:
                 result = run_spec(spec)
@@ -466,20 +483,6 @@ def execute(
                 if progress is not None:
                     progress(f"cell {report.reused + report.computed}/{len(specs)} done")
         else:
-            # runtime-registered kinds reach pool workers only through fork
-            # inheritance; under spawn/forkserver the worker would fail with
-            # a baffling "unknown run kind" — fail fast with the reason
-            if multiprocessing.get_start_method() != "fork":
-                custom = sorted(
-                    {s.kind for _, s in pending} & (set(_KIND_RUNNERS) - set(_LAZY_KINDS))
-                )
-                if custom:
-                    raise OrchestrationError(
-                        f"kinds {custom} were registered at runtime and cannot be "
-                        "dispatched to pool workers under the "
-                        f"{multiprocessing.get_start_method()!r} start method; "
-                        "use workers=1 or make them importable (_LAZY_KINDS)"
-                    )
             store_directory = (
                 str(run_store.directory)
                 if run_store is not None and run_store.directory is not None
@@ -528,6 +531,12 @@ def specs_for_settings(
     options: Mapping[str, Any] | None = None,
 ) -> RunSpec:
     """Build one :class:`RunSpec` from an :class:`ExperimentSettings` grid."""
+    merged = dict(options or {})
+    train_workers = int(getattr(settings, "train_workers", 1) or 1)
+    if train_workers != 1:
+        # recorded only when non-default so existing cell fingerprints (and
+        # therefore stored sweep results) are untouched by the new knob
+        merged.setdefault("train_workers", train_workers)
     return RunSpec(
         kind=kind,
         method=method,
@@ -543,5 +552,5 @@ def specs_for_settings(
         seed=settings.seed,
         perturbation=perturbation,
         metric=metric,
-        options=tuple(sorted((options or {}).items())),
+        options=tuple(sorted(merged.items())),
     )

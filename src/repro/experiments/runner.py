@@ -120,6 +120,7 @@ def embed_with_method(
     deepwalk_window: int = 5,
     proximity_cache: "str | ProximityCache" = "default",
     return_model: bool = False,
+    workers: int = 1,
 ) -> np.ndarray | Embedder:
     """Produce an embedding matrix for ``graph`` with the named method.
 
@@ -156,9 +157,25 @@ def embed_with_method(
         When ``True``, return the fitted :class:`~repro.models.Embedder`
         (with ``embeddings_``, ``result_`` incl. privacy spent, and
         ``save()``) instead of the bare embedding matrix.
+    workers:
+        Hogwild worker count for the SE trainers (``1`` = the unchanged
+        serial path).  Methods without the knob (the DP baselines) warn and
+        ignore it rather than fail the sweep.
     """
     spec = get_method(method)
     proximity_cache = _coerce_cache_policy(proximity_cache, legacy_none="default")
+    workers = int(workers)
+    build_kwargs: dict[str, Any] = {}
+    if workers != 1:
+        if spec.proximity is not None:
+            build_kwargs["workers"] = workers
+        else:
+            warnings.warn(
+                f"method {method!r} does not support hogwild workers; "
+                "training serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     model = spec.build(
         training=training,
         privacy=privacy,
@@ -167,6 +184,7 @@ def embed_with_method(
         deepwalk_window=deepwalk_window,
         proximity_cache=proximity_cache,
         seed=seed,
+        **build_kwargs,
     )
     if spec.proximity is not None:
         model.fit(graph, proximity=proximity)
@@ -191,6 +209,7 @@ def evaluate_structural_equivalence(
     deepwalk_window: int = 5,
     proximity_cache: "str | ProximityCache" = "default",
     evaluation_seed: int | np.random.SeedSequence | None = None,
+    workers: int = 1,
 ) -> tuple[float, float]:
     """Mean ± SD StrucEqu of a method over repeated runs on one graph.
 
@@ -232,6 +251,7 @@ def evaluate_structural_equivalence(
             proximity=proximity,
             deepwalk_window=deepwalk_window,
             proximity_cache=proximity_cache,
+            workers=workers,
         )
         # a fresh generator from the *same* stream per repeat: identical
         # evaluation pair sample every time, by construction
@@ -254,6 +274,7 @@ def evaluate_link_prediction(
     perturbation: str | None = None,
     deepwalk_window: int = 5,
     proximity_cache: "str | ProximityCache" = "off",
+    workers: int = 1,
 ) -> tuple[float, float]:
     """Mean ± SD link-prediction AUC of a method over repeated runs on one graph.
 
@@ -291,6 +312,7 @@ def evaluate_link_prediction(
             proximity=proximity,
             deepwalk_window=deepwalk_window,
             proximity_cache=proximity_cache,
+            workers=workers,
         )
         scores.append(link_prediction_auc(embeddings, split))
     summary = summarize_runs(scores)

@@ -63,25 +63,56 @@ class Graph:
             raise GraphError(f"num_nodes must be positive, got {num_nodes}")
         self._num_nodes = int(num_nodes)
         self._name = name
-
-        edge_set: set[tuple[int, int]] = set()
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u == v:
-                raise GraphError(f"self-loop ({u}, {v}) is not allowed in a simple graph")
-            if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
-                raise GraphError(
-                    f"edge ({u}, {v}) references a node outside [0, {self._num_nodes})"
-                )
-            edge_set.add((min(u, v), max(u, v)))
-
-        self._edges = np.array(sorted(edge_set), dtype=np.int64).reshape(-1, 2)
-        self._neighbors: list[np.ndarray] = [None] * self._num_nodes  # type: ignore[list-item]
-        self._build_neighbors()
+        self._edges = self._canonical_edges(edges)
+        # Neighbour structure and adjacency are built lazily: a million-node
+        # graph that only feeds the array-based training path never pays for
+        # per-node arrays it does not use.
+        self._nbr_values: np.ndarray | None = None
+        self._nbr_offsets: np.ndarray | None = None
         self._adjacency: sparse.csr_matrix | None = None
         self._adjacency_keys: np.ndarray | None = None
         self._content_fingerprint: str | None = None
-        self._edge_lookup = {(int(u), int(v)) for u, v in self._edges}
+
+    def _canonical_edges(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        """Validate, canonicalise (``u < v``) and dedupe edges, vectorised.
+
+        Reproduces the original ``sorted(set(...))`` construction exactly —
+        rows come out lexicographically sorted with mirrors collapsed — but
+        in O(m log m) array ops instead of a Python loop, which is what makes
+        million-edge graphs constructible in seconds.
+        """
+        n = self._num_nodes
+        if isinstance(edges, np.ndarray):
+            arr = edges.astype(np.int64, copy=False)
+        else:
+            arr = np.asarray(list(edges) if not isinstance(edges, (list, tuple)) else edges)
+            arr = arr.astype(np.int64, copy=False)
+        if arr.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError(
+                f"edges must be (u, v) pairs, got an array of shape {arr.shape}"
+            )
+        loops = arr[:, 0] == arr[:, 1]
+        if loops.any():
+            u, v = arr[int(np.argmax(loops))]
+            raise GraphError(
+                f"self-loop ({int(u)}, {int(v)}) is not allowed in a simple graph"
+            )
+        bad = (arr < 0) | (arr >= n)
+        if bad.any():
+            u, v = arr[int(np.argmax(bad.any(axis=1)))]
+            raise GraphError(
+                f"edge ({int(u)}, {int(v)}) references a node outside [0, {n})"
+            )
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        if n <= np.iinfo(np.int64).max // max(n, 1):
+            # pack (lo, hi) into one int64 key: unique() then sorts and
+            # dedupes in a single pass (the packing is order-preserving)
+            keys = np.unique(lo * np.int64(n) + hi)
+            return np.stack([keys // n, keys % n], axis=1).astype(np.int64, copy=False)
+        return np.unique(np.stack([lo, hi], axis=1), axis=0)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -151,28 +182,46 @@ class Graph:
 
     def degrees(self) -> np.ndarray:
         """Return the degree of every node as an ``int64`` array."""
-        deg = np.zeros(self._num_nodes, dtype=np.int64)
-        if self.num_edges:
-            np.add.at(deg, self._edges[:, 0], 1)
-            np.add.at(deg, self._edges[:, 1], 1)
-        return deg
+        if not self.num_edges:
+            return np.zeros(self._num_nodes, dtype=np.int64)
+        return np.bincount(self._edges.ravel(), minlength=self._num_nodes).astype(
+            np.int64, copy=False
+        )
 
     def degree(self, node: int) -> int:
         """Return the degree of a single node."""
         self._check_node(node)
-        return int(len(self._neighbors[node]))
+        self._ensure_neighbors()
+        node = int(node)
+        return int(self._nbr_offsets[node + 1] - self._nbr_offsets[node])
 
     def neighbors(self, node: int) -> np.ndarray:
         """Return the sorted neighbour array of ``node``."""
         self._check_node(node)
-        return self._neighbors[node]
+        self._ensure_neighbors()
+        node = int(node)
+        return self._nbr_values[self._nbr_offsets[node] : self._nbr_offsets[node + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        """Return ``True`` if the undirected edge ``(u, v)`` exists.
+
+        Two binary searches over the lexicographically sorted edge array —
+        no per-edge Python set, so membership stays O(log m) with zero
+        auxiliary memory even on million-edge graphs.
+        """
+        u, v = int(u), int(v)
         if u == v:
             return False
-        key = (min(int(u), int(v)), max(int(u), int(v)))
-        return key in self._edge_lookup
+        if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+            return False
+        lo, hi = (u, v) if u < v else (v, u)
+        left = int(np.searchsorted(self._edges[:, 0], lo, side="left"))
+        right = int(np.searchsorted(self._edges[:, 0], lo, side="right"))
+        if left == right:
+            return False
+        row = self._edges[left:right, 1]
+        i = int(np.searchsorted(row, hi))
+        return i < row.shape[0] and int(row[i]) == hi
 
     def adjacency_matrix(self, dense: bool = False) -> sparse.csr_matrix | np.ndarray:
         """Return the symmetric adjacency matrix (CSR, or dense if requested)."""
@@ -230,18 +279,31 @@ class Graph:
         Used by the link-prediction split, which hides 10% of edges from the
         training graph.
         """
-        removed_set = {(min(int(u), int(v)), max(int(u), int(v))) for u, v in removed}
-        kept = [
-            (int(u), int(v))
-            for u, v in self._edges
-            if (int(u), int(v)) not in removed_set
-        ]
+        n_nodes = self._num_nodes
+        removed_set = {
+            key
+            for u, v in removed
+            for key in ((min(int(u), int(v)), max(int(u), int(v))),)
+            if 0 <= key[0] and key[1] < n_nodes
+        }
+        if not removed_set or not self.num_edges:
+            kept = self._edges
+        else:
+            removed_arr = np.array(sorted(removed_set), dtype=np.int64).reshape(-1, 2)
+            n = np.int64(self._num_nodes)
+            keys = self._edges[:, 0] * n + self._edges[:, 1]
+            removed_keys = removed_arr[:, 0] * n + removed_arr[:, 1]
+            kept = self._edges[~np.isin(keys, removed_keys)]
         return Graph(self._num_nodes, kept, name=name or f"{self._name}-pruned")
 
     def with_extra_edges(self, added: Iterable[tuple[int, int]], name: str | None = None) -> "Graph":
         """Return a copy of the graph with additional edges inserted."""
-        edges = [(int(u), int(v)) for u, v in self._edges]
-        edges.extend((int(u), int(v)) for u, v in added)
+        extra = np.asarray([(int(u), int(v)) for u, v in added], dtype=np.int64)
+        edges = (
+            np.concatenate([self._edges, extra.reshape(-1, 2)], axis=0)
+            if extra.size
+            else self._edges
+        )
         return Graph(self._num_nodes, edges, name=name or f"{self._name}-augmented")
 
     def remove_node_edges(self, node: int, name: str | None = None) -> "Graph":
@@ -252,11 +314,8 @@ class Graph:
         replacement for sensitivity analysis removes them entirely.
         """
         self._check_node(node)
-        kept = [
-            (int(u), int(v))
-            for u, v in self._edges
-            if int(u) != node and int(v) != node
-        ]
+        node = int(node)
+        kept = self._edges[(self._edges[:, 0] != node) & (self._edges[:, 1] != node)]
         return Graph(self._num_nodes, kept, name=name or f"{self._name}-minus-{node}")
 
     def connected_components(self) -> list[np.ndarray]:
@@ -307,7 +366,7 @@ class Graph:
             }
         total_pairs = n * (n - 1) // 2
         # excludes that are already edges cannot be drawn either
-        excluded_non_edges = sum(1 for key in exclude_set if key not in self._edge_lookup)
+        excluded_non_edges = sum(1 for key in exclude_set if not self.has_edge(*key))
         available = total_pairs - self.num_edges - excluded_non_edges
         if available < count:
             raise GraphError(
@@ -401,12 +460,27 @@ class Graph:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _build_neighbors(self) -> None:
-        buckets: list[list[int]] = [[] for _ in range(self._num_nodes)]
-        for u, v in self._edges:
-            buckets[int(u)].append(int(v))
-            buckets[int(v)].append(int(u))
-        self._neighbors = [np.array(sorted(b), dtype=np.int64) for b in buckets]
+    def _ensure_neighbors(self) -> None:
+        """Build the CSR-style neighbour structure on first use.
+
+        One lexsort over both edge directions replaces the per-node Python
+        bucket lists: ``_nbr_values[_nbr_offsets[u]:_nbr_offsets[u+1]]`` is
+        the sorted neighbour array of ``u``.
+        """
+        if self._nbr_values is not None:
+            return
+        if not self.num_edges:
+            self._nbr_values = np.empty(0, dtype=np.int64)
+            self._nbr_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            return
+        ends = np.concatenate([self._edges[:, 0], self._edges[:, 1]])
+        other = np.concatenate([self._edges[:, 1], self._edges[:, 0]])
+        order = np.lexsort((other, ends))
+        self._nbr_values = np.ascontiguousarray(other[order])
+        counts = np.bincount(ends, minlength=self._num_nodes)
+        offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._nbr_offsets = offsets
 
     def _check_node(self, node: int) -> None:
         if not 0 <= int(node) < self._num_nodes:

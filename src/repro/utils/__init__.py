@@ -1,6 +1,7 @@
 """Small shared utilities: RNG handling, stable math, CSR lookups, timing."""
 
 from .rng import ensure_rng, spawn_rngs
+from .mp import fork_available, resolve_fork_workers, serial_fallback
 from .math import (
     sigmoid,
     log_sigmoid,
@@ -20,6 +21,9 @@ __all__ = [
     "csr_lookup",
     "ensure_rng",
     "spawn_rngs",
+    "fork_available",
+    "resolve_fork_workers",
+    "serial_fallback",
     "sigmoid",
     "log_sigmoid",
     "softmax",

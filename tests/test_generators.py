@@ -58,6 +58,38 @@ class TestBarabasiAlbert:
         with pytest.raises(GraphError):
             barabasi_albert_graph(10, 0)
 
+    def test_sequential_stream_is_pinned(self):
+        # the default method must keep producing the exact historical graph
+        # for a given seed; this pin guards the vectorised-batched addition
+        g = barabasi_albert_graph(60, 2, seed=9)
+        explicit = barabasi_albert_graph(60, 2, seed=9, method="sequential")
+        assert np.array_equal(g.edges, explicit.edges)
+        digest = tuple(map(int, g.edges[:5].ravel()))
+        assert digest == (0, 2, 0, 3, 0, 4, 0, 7, 0, 8)
+
+    def test_batched_method_is_valid_and_deterministic(self):
+        g1 = barabasi_albert_graph(400, 3, seed=4, method="batched")
+        g2 = barabasi_albert_graph(400, 3, seed=4, method="batched")
+        validate_simple_graph(g1)
+        assert np.array_equal(g1.edges, g2.edges)
+        assert g1.num_nodes == 400
+        # within-batch collisions may drop a few attachments but never many
+        assert g1.num_edges > 0.9 * (400 - 3) * 3
+
+    def test_batched_heavy_tailed_degrees(self):
+        g = barabasi_albert_graph(2000, 2, seed=5, method="batched")
+        degrees = g.degrees()
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_batched_differs_from_sequential_stream(self):
+        seq = barabasi_albert_graph(300, 3, seed=4)
+        bat = barabasi_albert_graph(300, 3, seed=4, method="batched")
+        assert not np.array_equal(seq.edges, bat.edges)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 2, method="magic")
+
 
 class TestWattsStrogatz:
     def test_no_rewiring_keeps_ring_degree(self):

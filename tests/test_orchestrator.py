@@ -361,3 +361,64 @@ class TestCommandLine:
         )
         assert proc.returncode != 0
         assert "--methods only applies to --figure sweeps" in proc.stderr
+
+
+class TestForkFallback:
+    """Non-fork start methods degrade to serial instead of crashing."""
+
+    def test_runtime_kind_falls_back_to_serial(self, monkeypatch):
+        from repro.utils import mp as repro_mp
+
+        monkeypatch.setattr(repro_mp, "start_method", lambda: "spawn")
+        register_kind(
+            "echo_seed_fallback",
+            lambda spec: {"metric": "echo", "mean": float(spec.seed), "std": 0.0},
+        )
+        specs = [
+            _sleep_spec(i).with_updates(kind="echo_seed_fallback") for i in range(3)
+        ]
+        with pytest.warns(RuntimeWarning, match="falling back to the serial path"):
+            report = execute(specs, workers=2)
+        assert report.workers == 1
+        assert [r["mean"] for r in report.results] == [0.0, 1.0, 2.0]
+
+    def test_importable_kinds_keep_the_pool(self, monkeypatch):
+        from repro.utils import mp as repro_mp
+
+        monkeypatch.setattr(repro_mp, "start_method", lambda: "spawn")
+        # "sleep" is a _LAZY_KINDS entry: workers resolve it by import, so
+        # the sweep is allowed to keep its pool even without fork
+        report = execute([_sleep_spec(0), _sleep_spec(1)], workers=2)
+        assert report.workers == 2
+        assert report.computed == 2
+
+
+class TestTrainWorkersThreading:
+    def test_default_settings_leave_options_empty(self):
+        spec = specs_for_settings("strucequ", "se_gemb_deg", "smallworld", TINY)
+        assert spec.option("train_workers") is None
+
+    def test_train_workers_recorded_when_set(self):
+        settings = TINY.with_updates(train_workers=2)
+        spec = specs_for_settings("strucequ", "se_gemb_deg", "smallworld", settings)
+        assert spec.option("train_workers") == 2
+
+    def test_default_fingerprint_unchanged_by_new_field(self):
+        base = specs_for_settings("strucequ", "se_gemb_deg", "smallworld", TINY)
+        same = specs_for_settings(
+            "strucequ", "se_gemb_deg", "smallworld", TINY.with_updates(train_workers=1)
+        )
+        assert base.fingerprint() == same.fingerprint()
+
+    def test_train_workers_changes_fingerprint(self):
+        base = specs_for_settings("strucequ", "se_gemb_deg", "smallworld", TINY)
+        hog = specs_for_settings(
+            "strucequ", "se_gemb_deg", "smallworld", TINY.with_updates(train_workers=2)
+        )
+        assert base.fingerprint() != hog.fingerprint()
+
+    def test_settings_validation(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TINY.with_updates(train_workers=0)
