@@ -1,0 +1,210 @@
+"""Serving-layer throughput: batched top-k vs one-at-a-time queries.
+
+The serving counterpart of the fast-path benchmark: a degree-proximity
+SE-GEmb model is trained once on the 20k-node benchmark graph (one cheap
+epoch — serving perf does not depend on embedding quality), exported as a
+memory-mapped servable, and queried through :class:`QueryEngine`:
+
+* **batched vs single** — queries/sec of ``top_k`` over 64-row batches
+  against the same queries issued one at a time.  The batched scan must
+  amortise the corpus pass by at least
+  ``REPRO_BENCH_MIN_SERVING_SPEEDUP`` (default 5.0; locally ~10-20x).
+  A :class:`QueryProfiler` rides along so the artifact records where each
+  path spends its per-query time (gather / matmul / partition).
+* **micro-batching server** — the same request stream issued as
+  concurrent single-node awaits through :class:`BatchingServer`; the
+  artifact records how many engine calls the coalescing window saved.
+* **zero-copy pin** — opening a ~50 MB synthetic servable and serving
+  100 queries from it must allocate less than 5% of the payload
+  (tracemalloc-enforced): the engine works through its preallocated
+  workspace over the memory map and never materialises the matrix.
+
+``REPRO_SERVING_BENCH_NODES`` scales the graph (default 20000); CI smoke
+runs a reduced node count with the same assertions.  Headline numbers are
+written to ``BENCH_serving_*.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import TrainingConfig
+from repro.graph import load_dataset
+from repro.models import get_method
+from repro.serving import (
+    BatchingServer,
+    QueryEngine,
+    QueryProfiler,
+    ServableModel,
+    write_servable,
+)
+
+BENCH_NODES = int(os.environ.get("REPRO_SERVING_BENCH_NODES", "20000"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SERVING_SPEEDUP", "5.0"))
+DIM = 64
+BATCH = 64
+K = 10
+ROUNDS = 3
+QUERY_ROWS = 512  # queries timed per round
+
+
+@pytest.fixture(scope="module")
+def servable(tmp_path_factory):
+    """Train one cheap model on the benchmark graph and export it."""
+    graph = load_dataset("smallworld", num_nodes=BENCH_NODES, seed=3)
+    config = TrainingConfig(
+        embedding_dim=DIM, batch_size=1024, learning_rate=0.1,
+        negative_samples=5, epochs=1,
+    )
+    model = get_method("se_gemb_deg").build(training=config, seed=0)
+    model.fit(graph)
+    path = tmp_path_factory.mktemp("serving") / "bench.servable"
+    model.export_servable(path)
+    with ServableModel.open(path) as opened:
+        yield opened
+
+
+def _best_queries_per_sec(engine, batches):
+    for batch in batches[:2]:  # warm-up: norms cache, BLAS threads
+        engine.top_k(batch, K)
+    best = float("inf")
+    total = sum(batch.size for batch in batches)
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for batch in batches:
+            engine.top_k(batch, K)
+        best = min(best, time.perf_counter() - start)
+    return total / best
+
+
+def _phase_means(profiler):
+    return profiler.profile().to_dict()["phase_mean_seconds"]
+
+
+def test_batched_topk_speedup(bench_artifact, servable):
+    rng = np.random.default_rng(11)
+    nodes = rng.integers(0, servable.num_nodes, size=QUERY_ROWS, dtype=np.int64)
+
+    batched_profiler = QueryProfiler()
+    batched_engine = servable.query_engine(
+        max_batch=BATCH, max_k=K, profiler=batched_profiler
+    )
+    batched_qps = _best_queries_per_sec(
+        batched_engine, [nodes[i:i + BATCH] for i in range(0, QUERY_ROWS, BATCH)]
+    )
+
+    single_profiler = QueryProfiler()
+    single_engine = servable.query_engine(
+        max_batch=1, max_k=K, profiler=single_profiler
+    )
+    single_qps = _best_queries_per_sec(
+        single_engine, [nodes[i:i + 1] for i in range(QUERY_ROWS)]
+    )
+
+    speedup = batched_qps / single_qps
+    print()
+    print(
+        f"top-{K} throughput on the {servable.num_nodes}-node servable "
+        f"(r={servable.embedding_dim}, batch={BATCH}):"
+    )
+    print(f"  single-query  : {single_qps:10.1f} queries/sec")
+    print(f"  batched       : {batched_qps:10.1f} queries/sec")
+    print(f"  speedup       : {speedup:10.2f}x")
+    bench_artifact(
+        "serving_topk",
+        {
+            "nodes": servable.num_nodes,
+            "embedding_dim": servable.embedding_dim,
+            "k": K,
+            "batch": BATCH,
+            "query_rows": QUERY_ROWS,
+            "single_queries_per_sec": single_qps,
+            "batched_queries_per_sec": batched_qps,
+            "speedup": speedup,
+            "floor": MIN_SPEEDUP,
+            "single_phase_mean_seconds": _phase_means(single_profiler),
+            "batched_phase_mean_seconds": _phase_means(batched_profiler),
+        },
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_batching_server_coalesces(bench_artifact, servable):
+    engine = servable.query_engine(max_batch=BATCH, max_k=K)
+    requests = 256
+    rng = np.random.default_rng(5)
+    nodes = rng.integers(0, servable.num_nodes, size=requests)
+
+    async def scenario():
+        async with BatchingServer(engine, max_delay=0.002, default_k=K) as server:
+            start = time.perf_counter()
+            await asyncio.gather(*(server.top_k(int(node)) for node in nodes))
+            elapsed = time.perf_counter() - start
+            return elapsed, server.stats
+
+    elapsed, stats = asyncio.run(scenario())
+    qps = requests / elapsed
+    print()
+    print(
+        f"micro-batching server: {requests} concurrent requests in "
+        f"{elapsed * 1e3:.1f} ms ({qps:.0f} req/sec), "
+        f"{stats.batches} engine calls, mean batch {stats.mean_batch_size:.1f}"
+    )
+    bench_artifact(
+        "serving_server",
+        {
+            "nodes": servable.num_nodes,
+            "requests": requests,
+            "requests_per_sec": qps,
+            "elapsed_seconds": elapsed,
+            **stats.to_dict(),
+        },
+    )
+    # coalescing must actually batch: far fewer engine calls than requests
+    assert stats.batches < requests / 2
+    assert stats.coalesced_requests > 0
+
+
+def test_serving_is_zero_copy(bench_artifact, tmp_path):
+    """Open + 100 queries on a ~50 MB servable allocate < 5% of the payload."""
+    num_nodes, dim = 200_000, 64
+    rng = np.random.default_rng(0)
+    payload = rng.standard_normal((num_nodes, dim)).astype(np.float32)
+    path = tmp_path / "pin.servable"
+    write_servable(path, {"embeddings": payload}, {"method": None})
+    payload_nbytes = payload.nbytes
+    del payload
+
+    tracemalloc.start()
+    with ServableModel.open(path) as servable:
+        engine = servable.query_engine(max_batch=16, block_rows=1024, max_k=K)
+        for start in range(0, 100, 16):
+            nodes = np.arange(start * 7, start * 7 + 16) % num_nodes
+            engine.top_k(nodes, K)
+        current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    fraction = peak / payload_nbytes
+    print()
+    print(
+        f"zero-copy pin: payload {payload_nbytes / 1e6:.1f} MB, "
+        f"python peak {peak / 1e6:.2f} MB ({fraction * 100:.2f}%)"
+    )
+    bench_artifact(
+        "serving_zero_copy",
+        {
+            "nodes": num_nodes,
+            "embedding_dim": dim,
+            "payload_bytes": payload_nbytes,
+            "traced_peak_bytes": peak,
+            "peak_fraction": fraction,
+            "budget_fraction": 0.05,
+        },
+    )
+    assert fraction < 0.05

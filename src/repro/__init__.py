@@ -69,6 +69,12 @@ from .evaluation import (
     link_prediction_auc,
     make_link_prediction_split,
 )
+from .serving import (
+    BatchingServer,
+    QueryEngine,
+    ServableModel,
+    export_servable,
+)
 
 __version__ = "1.0.0"
 
@@ -127,4 +133,8 @@ __all__ = [
     "structural_equivalence_score",
     "link_prediction_auc",
     "make_link_prediction_split",
+    "BatchingServer",
+    "QueryEngine",
+    "ServableModel",
+    "export_servable",
 ]

@@ -13,7 +13,11 @@ ablations work the same way::
     python -m repro.experiments run --figure 3 --smoke --workers 2
     python -m repro.experiments run --ablation negative_sampling --store runs/
 
-``list`` prints the available sweeps and datasets.
+``list`` prints the available sweeps and datasets.  Saved models are
+inspected and queried without retraining (or loading their payload)::
+
+    python -m repro.experiments inspect model.npz
+    python -m repro.experiments query model.servable --nodes 3,17 --k 5
 """
 
 from __future__ import annotations
@@ -104,6 +108,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated sweep values for the chosen table (numbers)",
     )
     sub.add_parser("list", help="print available sweeps and datasets")
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="describe a saved model artifact or servable without loading its payload",
+    )
+    inspect.add_argument("path", help="a saved .npz artifact or a servable directory")
+
+    query = sub.add_parser(
+        "query", help="top-k nearest neighbours from a saved model, zero-copy"
+    )
+    query.add_argument("path", help="a saved .npz artifact or a servable directory")
+    query.add_argument("--nodes", required=True, help="comma-separated query node ids")
+    query.add_argument("--k", type=int, default=10, help="neighbours per node")
+    query.add_argument(
+        "--metric", choices=("cosine", "dot"), default="cosine", help="similarity"
+    )
     return parser
 
 
@@ -191,6 +211,72 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_servable(path: str) -> bool:
+    from pathlib import Path
+
+    return (Path(path) / "servable.json").is_file()
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    """Describe a saved model in O(metadata) — payloads are never loaded."""
+    if _is_servable(args.path):
+        from ..serving import ServableModel
+
+        with ServableModel.open(args.path, check_registry=False) as servable:
+            metadata = dict(servable.metadata)
+            arrays = servable.document.get("arrays", {})
+            kind = "servable"
+            payload = servable.payload_nbytes
+    else:
+        from ..models import peek_artifact
+
+        metadata = peek_artifact(args.path)
+        arrays = metadata.pop("arrays", {})
+        kind = "artifact"
+        payload = None
+    print(f"{kind}: {args.path}")
+    print(f"method:   {metadata.get('method')}")
+    result = metadata.get("result") or {}
+    if result.get("losses"):
+        print(f"final loss: {result['losses'][-1]:.6f}")
+    if result.get("privacy_spent"):
+        print(f"privacy spent: {result['privacy_spent']}")
+    for field in ("dataset_fingerprint", "proximity_fingerprint", "repro_version"):
+        if metadata.get(field):
+            print(f"{field}: {metadata[field]}")
+    for name, info in arrays.items():
+        shape = "x".join(str(dim) for dim in info.get("shape", []))
+        print(f"array {name}: {shape} {info.get('dtype')}")
+    if payload is not None:
+        print(f"payload: {payload} bytes (memory-mapped on open)")
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    """Answer batched top-k from a servable (zero-copy) or an artifact."""
+    nodes = [int(token) for token in args.nodes.split(",") if token.strip()]
+    if not nodes:
+        raise ConfigurationError("--nodes needs at least one node id")
+    if _is_servable(args.path):
+        from ..serving import ServableModel
+
+        with ServableModel.open(args.path) as servable:
+            engine = servable.query_engine()
+            result = engine.top_k(nodes, args.k, metric=args.metric)
+    else:
+        from ..models import Embedder
+
+        engine = Embedder.load(args.path).as_servable()
+        result = engine.top_k(nodes, args.k, metric=args.metric)
+    for row, node in enumerate(nodes):
+        pairs = ", ".join(
+            f"{int(node_id)}:{float(score):.4f}"
+            for node_id, score in zip(result.ids[row], result.scores[row])
+        )
+        print(f"node {node}: {pairs}")
+    return 0
+
+
 def _list() -> int:
     print("tables:    " + ", ".join(str(n) for n in sorted(_TABLES)))
     print("figures:   " + ", ".join(str(n) for n in sorted(_FIGURES)))
@@ -205,6 +291,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _list()
+    if args.command == "inspect":
+        return _inspect(args)
+    if args.command == "query":
+        return _query(args)
     if args.values and args.table is None:
         parser.error("--values only applies to --table sweeps")
     if args.methods and args.figure is None:

@@ -17,7 +17,13 @@ for the declarative :class:`MethodSpec` registry, and
 :mod:`repro.models.artifacts` for the ``.npz`` + JSON artifact layout.
 """
 
-from .artifacts import ARTIFACT_FORMAT, ARTIFACT_VERSION, load_artifact, save_artifact
+from .artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    load_artifact,
+    peek_artifact,
+    save_artifact,
+)
 from .base import Embedder, FitResult
 from .registry import (
     MethodSpec,
@@ -37,6 +43,7 @@ __all__ = [
     "get_method",
     "load_artifact",
     "method_aliases",
+    "peek_artifact",
     "register",
     "save_artifact",
 ]

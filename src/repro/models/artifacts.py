@@ -31,7 +31,13 @@ import numpy as np
 from ..exceptions import ArtifactError
 from ..utils.fileio import atomic_write_path
 
-__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "load_artifact", "save_artifact"]
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "load_artifact",
+    "peek_artifact",
+    "save_artifact",
+]
 
 #: identifies our archives among arbitrary ``.npz`` files
 ARTIFACT_FORMAT = "repro.models.embedder"
@@ -72,6 +78,32 @@ def save_artifact(
     return path
 
 
+def _read_metadata(path: Path, archive) -> dict[str, Any]:
+    """Extract and parse the metadata document from an open ``NpzFile``."""
+    if _METADATA_KEY not in archive.files:
+        raise ArtifactError(
+            f"{path} is a .npz archive but not a {ARTIFACT_FORMAT} artifact "
+            "(no metadata entry)"
+        )
+    try:
+        metadata = json.loads(str(archive[_METADATA_KEY][()]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"corrupt metadata in {path}: {exc}") from exc
+    return metadata
+
+
+def _validate_envelope(path: Path, metadata: Any) -> dict[str, Any]:
+    """Check the ``format`` / ``format_version`` envelope fields."""
+    if not isinstance(metadata, dict) or metadata.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(f"{path} does not contain a {ARTIFACT_FORMAT} artifact")
+    version = metadata.get("format_version")
+    if not isinstance(version, int) or version > ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path} has artifact version {version!r}; this build reads <= {ARTIFACT_VERSION}"
+        )
+    return metadata
+
+
 def load_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
     """Read an artifact back as ``(arrays, metadata)``.
 
@@ -84,23 +116,51 @@ def load_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, An
         raise ArtifactError(f"no model artifact at {path}")
     try:
         with np.load(path, allow_pickle=False) as archive:
-            if _METADATA_KEY not in archive.files:
-                raise ArtifactError(
-                    f"{path} is a .npz archive but not a {ARTIFACT_FORMAT} artifact "
-                    "(no metadata entry)"
-                )
-            try:
-                metadata = json.loads(str(archive[_METADATA_KEY][()]))
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise ArtifactError(f"corrupt metadata in {path}: {exc}") from exc
+            metadata = _read_metadata(path, archive)
             arrays = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
     except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
         raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
-    if not isinstance(metadata, dict) or metadata.get("format") != ARTIFACT_FORMAT:
-        raise ArtifactError(f"{path} does not contain a {ARTIFACT_FORMAT} artifact")
-    version = metadata.get("format_version")
-    if not isinstance(version, int) or version > ARTIFACT_VERSION:
-        raise ArtifactError(
-            f"{path} has artifact version {version!r}; this build reads <= {ARTIFACT_VERSION}"
-        )
-    return arrays, metadata
+    return arrays, _validate_envelope(path, metadata)
+
+
+def peek_artifact(path: str | Path) -> dict[str, Any]:
+    """Read an artifact's metadata without loading any array payload.
+
+    ``NpzFile`` members are decompressed lazily, so only the (tiny) JSON
+    document is actually read; the array members contribute just their
+    ``.npy`` headers, surfaced under an extra ``"arrays"`` key as
+    ``{name: {"shape": [...], "dtype": "..."}}``.  Inspecting a
+    million-node artifact therefore costs O(metadata), not O(|V| · r) —
+    the CLI ``inspect`` / ``query`` validation paths rely on this.
+
+    Raises the same :class:`~repro.exceptions.ArtifactError` family as
+    :func:`load_artifact`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no model artifact at {path}")
+    arrays_info: dict[str, dict[str, Any]] = {}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = _read_metadata(path, archive)
+            for name in archive.files:
+                if name == _METADATA_KEY:
+                    continue
+                with archive.zip.open(name + ".npy") as handle:
+                    version = np.lib.format.read_magic(handle)
+                    if version == (1, 0):
+                        shape, _, dtype = np.lib.format.read_array_header_1_0(handle)
+                    elif version == (2, 0):
+                        shape, _, dtype = np.lib.format.read_array_header_2_0(handle)
+                    else:  # future .npy revision: fall back to a full read
+                        array = archive[name]
+                        shape, dtype = array.shape, array.dtype
+                arrays_info[name] = {
+                    "shape": [int(dim) for dim in shape],
+                    "dtype": str(dtype),
+                }
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
+    metadata = dict(_validate_envelope(path, metadata))
+    metadata["arrays"] = arrays_info
+    return metadata

@@ -42,6 +42,7 @@ from ..utils.rng import ensure_rng
 from .artifacts import load_artifact, save_artifact
 
 if TYPE_CHECKING:  # registry imports embedders lazily; avoid the cycle here
+    from ..serving.engine import QueryEngine
     from .registry import MethodSpec
 
 __all__ = ["Embedder", "FitResult"]
@@ -268,8 +269,14 @@ class Embedder(abc.ABC):
         """
         return dict(self._build_overrides)
 
-    def save(self, path: str | Path) -> Path:
-        """Persist the fitted model as one ``.npz`` + JSON artifact."""
+    def _artifact_metadata(self) -> dict[str, Any]:
+        """The full metadata document persisted with this fitted model.
+
+        Shared by :meth:`save` (npz artifacts) and the serving exporter
+        (:func:`repro.serving.store.export_servable`), so both carriers
+        describe the model identically — method spec, fingerprints,
+        result, build options.
+        """
         self._check_fitted()
         cls = type(self)
         metadata: dict[str, Any] = {
@@ -285,6 +292,11 @@ class Embedder(abc.ABC):
         from .. import __version__
 
         metadata["repro_version"] = __version__
+        return metadata
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the fitted model as one ``.npz`` + JSON artifact."""
+        metadata = self._artifact_metadata()
         arrays = {"embeddings": np.asarray(self._embeddings)}
         if self._context_embeddings is not None:
             arrays["context_embeddings"] = np.asarray(self._context_embeddings)
@@ -345,3 +357,62 @@ class Embedder(abc.ABC):
             )
         model._restore(arrays, metadata)
         return model
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def _check_spec_current(self) -> None:
+        """Refuse serving when this model's method registration has drifted.
+
+        ``load`` already rejects stale artifacts, but a long-lived fitted
+        estimator can outlive a re-registration in the same process — the
+        serving entry points re-check before handing out query engines.
+        """
+        if self._spec is None:
+            return
+        from .registry import get_method
+
+        try:
+            current = get_method(self._spec.name)
+        except ConfigurationError as exc:
+            raise ArtifactError(
+                f"method {self._spec.name!r} is no longer registered; refusing to "
+                f"serve this model: {exc}"
+            ) from exc
+        if current.fingerprint_payload() != self._spec.fingerprint_payload():
+            raise ArtifactError(
+                f"method {self._spec.name!r} has been re-registered with a different "
+                "spec since this model was built; refusing to serve a drifted model"
+            )
+
+    def as_servable(self, **engine_kwargs) -> "QueryEngine":
+        """Query this fitted model in-process, without refitting or exporting.
+
+        Returns a :class:`repro.serving.QueryEngine` over the in-memory
+        embedding matrices — the same engine :meth:`ServableModel.open`
+        builds over memory-mapped sidecars, so a loaded estimator
+        (``Embedder.load(...).as_servable()``) serves identically to an
+        exported one.  Raises :class:`~repro.exceptions.ArtifactError` if
+        the model's method registration has drifted since it was built.
+        """
+        self._check_fitted()
+        self._check_spec_current()
+        from ..serving.engine import QueryEngine
+
+        context = self._context_embeddings
+        return QueryEngine(
+            np.asarray(self._embeddings),
+            context_embeddings=np.asarray(context) if context is not None else None,
+            **engine_kwargs,
+        )
+
+    def export_servable(self, path: str | Path, *, overwrite: bool = False) -> Path:
+        """Export this fitted model as a memory-mappable servable directory.
+
+        See :func:`repro.serving.store.export_servable`.
+        """
+        self._check_fitted()
+        self._check_spec_current()
+        from ..serving.store import export_servable
+
+        return export_servable(self, path, overwrite=overwrite)

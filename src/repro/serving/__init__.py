@@ -1,0 +1,53 @@
+"""Online serving layer: zero-copy model store + batched query engine.
+
+Training produces an archival ``.npz`` artifact; serving wants the same
+model as a read-only, query-optimized object.  This package is that
+split (the ensmallen/embiggen training-vs-serving shape):
+
+* :mod:`repro.serving.store` — export a fitted model once
+  (:func:`export_servable`), then :meth:`ServableModel.open` maps the
+  embedding blocks with ``mmap_mode="r"`` so N readers share one
+  page-cache copy and opening allocates O(metadata), not O(|V| · r);
+* :mod:`repro.serving.engine` — :class:`QueryEngine` answers batched
+  ``top_k`` / ``score_links`` queries through a preallocated float32
+  :class:`QueryWorkspace` (blocked matmul + packed-key partition,
+  deterministic tie-break);
+* :mod:`repro.serving.server` — :class:`BatchingServer` coalesces
+  concurrent single-node asyncio requests into vectorized engine calls
+  under a max-latency / max-batch window;
+* :mod:`repro.serving.profiler` — :class:`QueryProfiler` records
+  gather / matmul / partition phase time per query.
+
+>>> from repro.serving import ServableModel, BatchingServer, export_servable
+>>> export_servable("model.npz", "model.servable")
+>>> servable = ServableModel.open("model.servable")
+>>> engine = servable.query_engine()
+>>> engine.top_k([42], k=10).ids
+"""
+
+from .engine import METRICS, QueryEngine, QueryWorkspace, TopKResult
+from .profiler import QUERY_PHASES, QueryProfiler
+from .server import BatchingServer, ServerStats
+from .store import (
+    SERVABLE_FORMAT,
+    SERVABLE_VERSION,
+    ServableModel,
+    export_servable,
+    write_servable,
+)
+
+__all__ = [
+    "BatchingServer",
+    "METRICS",
+    "QUERY_PHASES",
+    "QueryEngine",
+    "QueryProfiler",
+    "QueryWorkspace",
+    "SERVABLE_FORMAT",
+    "SERVABLE_VERSION",
+    "ServableModel",
+    "ServerStats",
+    "TopKResult",
+    "export_servable",
+    "write_servable",
+]

@@ -1,0 +1,218 @@
+"""Async micro-batching front end over a :class:`QueryEngine`.
+
+Thousands of concurrent "who is similar to node v?" requests are
+individually tiny — a single-row matmul plus Python call overhead — but
+the engine's batched scan amortises one corpus pass over the whole batch.
+:class:`BatchingServer` bridges the two: concurrent single-node awaits are
+coalesced into one vectorized ``top_k`` call under a max-latency /
+max-batch window:
+
+* the first request to arrive opens a window of ``max_delay`` seconds,
+* requests landing inside the window join the batch,
+* the batch is flushed early the moment it reaches ``max_batch`` rows,
+* the vectorized call runs in the default executor, so the event loop
+  keeps accepting (and queueing) new requests while numpy works.
+
+Requests that ask for a different ``(k, metric)`` than the batch being
+assembled stay queued and flush as their own group — every engine call
+serves one homogeneous batch.  The engine (and its preallocated
+workspace) is owned by the server's single flush loop; never share one
+engine between a running server and direct callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .engine import QueryEngine
+
+__all__ = ["BatchingServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Counters of one server lifetime (reset on ``start``)."""
+
+    requests: int = 0
+    batches: int = 0
+    #: requests that shared their engine call with at least one other
+    coalesced_requests: int = 0
+    max_batch_size: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average rows per engine call (0.0 before the first flush)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (used by the serving benchmark artifacts)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class BatchingServer:
+    """Coalesce concurrent top-k requests into vectorized engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`QueryEngine` to serve from (exclusively owned while
+        the server runs).
+    max_batch:
+        Flush as soon as this many compatible requests are pending.
+        Defaults to the engine's ``max_batch``.
+    max_delay:
+        Seconds the first request of a batch waits for company before the
+        batch is flushed anyway — the latency ceiling added by batching.
+    default_k / metric / exclude_self:
+        Per-request defaults; ``top_k`` callers may override ``k`` and
+        ``metric`` per request.
+
+    Use as an async context manager, or call ``start`` / ``stop``::
+
+        async with BatchingServer(engine, max_delay=0.002) as server:
+            ids, scores = await server.top_k(42, k=10)
+    """
+
+    def __init__(self, engine: QueryEngine, *, max_batch: int | None = None,
+                 max_delay: float = 0.002, default_k: int = 10,
+                 metric: str = "cosine", exclude_self: bool = True) -> None:
+        if max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        self.engine = engine
+        self.max_batch = int(max_batch) if max_batch is not None else engine.max_batch
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {self.max_batch}")
+        self.max_delay = float(max_delay)
+        self.default_k = int(default_k)
+        self.metric = metric
+        self.exclude_self = bool(exclude_self)
+        self.stats = ServerStats()
+        self._pending: deque = deque()
+        self._wakeup: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "BatchingServer":
+        """Start the flush loop (idempotent start is an error)."""
+        if self._task is not None:
+            raise RuntimeError("BatchingServer is already running")
+        self._closing = False
+        self.stats = ServerStats()
+        self._wakeup = asyncio.Event()
+        self._task = asyncio.create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Drain every pending request, then stop the flush loop."""
+        if self._task is None:
+            return
+        self._closing = True
+        self._wakeup.set()
+        try:
+            await self._task
+        finally:
+            self._task = None
+            self._wakeup = None
+
+    async def __aenter__(self) -> "BatchingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self._task is not None and not self._closing
+
+    # ------------------------------------------------------------------ #
+    # the request surface
+    # ------------------------------------------------------------------ #
+    async def top_k(self, node: int, k: int | None = None, *,
+                    metric: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Await the top-k neighbours of one node: ``(ids, scores)`` 1-D."""
+        if not self.is_running:
+            raise RuntimeError("BatchingServer is not running; use 'async with' or start()")
+        request_k = self.default_k if k is None else int(k)
+        request_metric = self.metric if metric is None else metric
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((int(node), request_k, request_metric, future))
+        self._wakeup.set()
+        ids, scores = await future
+        return ids, scores
+
+    # ------------------------------------------------------------------ #
+    # the flush loop
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                continue
+            # first pending request opens the coalescing window
+            deadline = loop.time() + self.max_delay
+            while len(self._pending) < self.max_batch and not self._closing:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                self._wakeup.clear()
+            await self._flush_one_group(loop)
+
+    async def _flush_one_group(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Serve the head-of-queue group of compatible requests."""
+        head_k, head_metric = self._pending[0][1], self._pending[0][2]
+        batch = []
+        skipped: deque = deque()
+        while self._pending and len(batch) < self.max_batch:
+            item = self._pending.popleft()
+            if (item[1], item[2]) == (head_k, head_metric):
+                batch.append(item)
+            else:
+                skipped.append(item)
+        skipped.extend(self._pending)
+        self._pending = skipped
+
+        nodes = np.array([node for node, *_ in batch], dtype=np.int64)
+        try:
+            result = await loop.run_in_executor(
+                None,
+                lambda: self.engine.top_k(
+                    nodes, head_k, metric=head_metric, exclude_self=self.exclude_self
+                ),
+            )
+        except Exception as exc:  # deliver the failure to every waiter
+            for *_, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.requests += len(batch)
+        self.stats.batches += 1
+        self.stats.batch_sizes.append(len(batch))
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        if len(batch) > 1:
+            self.stats.coalesced_requests += len(batch)
+        for row, (*_, future) in enumerate(batch):
+            if not future.done():
+                future.set_result((result.ids[row], result.scores[row]))
