@@ -70,7 +70,7 @@ def main() -> None:
             for row, node in enumerate(nodes[:3]):
                 pairs = ", ".join(
                     f"{int(nid)}:{float(score):.3f}"
-                    for nid, score in zip(result.ids[row], result.scores[row])
+                    for nid, score in zip(result.ids[row], result.scores[row], strict=True)
                 )
                 print(f"  top-5 of node {node}: {pairs}")
 

@@ -1,0 +1,125 @@
+"""CLI: ``python -m repro.analysis [paths] [--format json] [--baseline F]``.
+
+Exit status: 0 when no active (non-baselined, non-suppressed) findings,
+1 otherwise, 2 on usage errors.  With no paths the linter checks ``src``;
+a ``.repro-analysis-baseline.json`` in the working directory is picked up
+automatically unless ``--no-baseline`` or an explicit ``--baseline`` says
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .rules import RULE_REGISTRY, get_rule
+from .runner import analyze_paths, render_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase "
+        "(RNG, privacy-dtype, zero-alloc, shared-memory, fingerprint "
+        "discipline).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings to PATH as a new baseline "
+        "(each entry still needs a hand-written justification) and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_REGISTRY):
+            print(f"{rule_id}  {RULE_REGISTRY[rule_id].title}")
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [get_rule(rule_id) for rule_id in args.rules.split(",")]
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else Path(DEFAULT_BASELINE_NAME)
+        )
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, KeyError) as exc:
+                parser.error(f"invalid baseline {baseline_path}: {exc}")
+        elif args.baseline:
+            parser.error(f"baseline file not found: {baseline_path}")
+
+    try:
+        report = analyze_paths(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(
+            report.findings,
+            justification="TODO: justify this grandfathered finding",
+        )
+        new_baseline.save(Path(args.write_baseline))
+        print(
+            f"wrote {len(new_baseline)} entr(y/ies) to {args.write_baseline}; "
+            "fill in each justification before committing"
+        )
+        return 0
+
+    print(render_report(report, args.output_format))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

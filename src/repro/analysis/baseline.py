@@ -1,0 +1,120 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the linter land with zero noise on a tree that still
+carries known violations: existing findings are recorded once — each with
+a written justification — and CI fails only on *new* findings.  Entries
+match on ``(rule, path, source line text)`` rather than line numbers, so
+unrelated edits above a grandfathered line do not resurrect it.  Entries
+whose finding no longer exists are reported as stale so the file shrinks
+monotonically toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: the runner auto-loads this file from the working directory when present
+DEFAULT_BASELINE_NAME = ".repro-analysis-baseline.json"
+
+_FORMAT = "repro-analysis-baseline"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is tolerated."""
+
+    rule: str
+    path: str
+    code: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+
+class Baseline:
+    """A set of grandfathered findings keyed by ``(rule, path, code)``."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: dict[tuple[str, str, str], BaselineEntry] = {
+            entry.key: entry for entry in (entries or [])
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.baseline_key in self.entries
+
+    def stale_entries(self, findings: list[Finding]) -> list[BaselineEntry]:
+        """Entries no longer matched by any current finding."""
+        seen = {finding.baseline_key for finding in findings}
+        return [
+            entry for key, entry in sorted(self.entries.items()) if key not in seen
+        ]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT
+            or payload.get("version") != _VERSION
+        ):
+            raise ValueError(
+                f"{path} is not a version-{_VERSION} {_FORMAT} file"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                code=str(raw["code"]),
+                justification=str(raw.get("justification", "")).strip(),
+            )
+            if not entry.justification:
+                raise ValueError(
+                    f"baseline entry {entry.rule} at {entry.path} has no "
+                    "justification; every grandfathered finding must say why"
+                )
+            entries.append(entry)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], justification: str) -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    code=finding.code,
+                    justification=justification,
+                )
+                for finding in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "code": entry.code,
+                    "justification": entry.justification,
+                }
+                for _, entry in sorted(self.entries.items())
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

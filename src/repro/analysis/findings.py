@@ -1,0 +1,117 @@
+"""Finding records and the module context rules run against."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Finding", "ModuleContext"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line.
+
+    ``code`` carries the stripped source line the finding anchors to: the
+    baseline matches on ``(rule, path, code)`` rather than the line number,
+    so grandfathered findings survive unrelated edits above them.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    code: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (the documented ``--format json`` schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "code": self.code,
+        }
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used to match baseline entries (line-number free)."""
+        return (self.rule, self.path, self.code)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str | None = None) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def source_line(self, lineno: int) -> str:
+        """The stripped source text of 1-based line ``lineno`` ('' if gone)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Syntactic parent of ``node`` (lazy full-tree parent map)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[child] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Ancestor chain of ``node``, nearest first."""
+        chain: list[ast.AST] = []
+        current = self.parent(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str, hint: str = ""
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.display_path,
+            line=line,
+            col=col + 1,
+            rule=rule,
+            message=message,
+            hint=hint,
+            code=self.source_line(line),
+        )

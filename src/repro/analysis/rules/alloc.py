@@ -1,0 +1,149 @@
+"""ALLOC001: functions marked ``@zero_alloc`` perform no array allocations.
+
+The PR-5/PR-7 fast paths (training ``StepWorkspace``, serving
+``QueryWorkspace``) preallocate every per-step array and thread them
+through ``out=`` ufunc chains; tracemalloc tests pin the *aggregate*
+behaviour, but one careless ``np.zeros`` or a ufunc that lost its ``out=``
+re-introduces allocator traffic long before the pins notice (they have a
+small-transient budget).  This rule checks the marked functions shape by
+shape: any numpy call from the allocator list, any ``.copy()`` /
+``.astype()``, and any out-capable numpy call without an explicit ``out=``
+is a finding.  Setup phases (``__init__`` / ``_build*``) are never
+checked — the marker does not belong on them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding, ModuleContext
+from . import Rule, register_rule
+
+__all__ = ["ZeroAllocRule", "ALLOCATING_CALLS", "OUT_CAPABLE_CALLS"]
+
+_NUMPY_NAMES = ("np", "numpy")
+
+#: numpy namespace calls that always materialise a fresh array
+ALLOCATING_CALLS = frozenset(
+    {
+        "zeros", "empty", "ones", "full",
+        "zeros_like", "empty_like", "ones_like", "full_like",
+        "array", "asarray", "ascontiguousarray", "asfortranarray",
+        "arange", "linspace", "logspace", "eye", "identity",
+        "concatenate", "stack", "vstack", "hstack", "dstack", "column_stack",
+        "tile", "repeat", "pad", "copy", "meshgrid",
+        "unique", "bincount", "where", "nonzero", "flatnonzero",
+        "sort", "argsort", "argpartition", "partition", "take_along_axis",
+        "diff", "outer", "kron", "split",
+    }
+)
+
+#: numpy calls that accept ``out=`` — allocating only when it is omitted
+OUT_CAPABLE_CALLS = frozenset(
+    {
+        # binary ufuncs
+        "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "remainder", "mod", "power", "float_power",
+        "maximum", "minimum", "fmax", "fmin", "hypot", "arctan2",
+        "logaddexp", "logaddexp2",
+        "bitwise_and", "bitwise_or", "bitwise_xor",
+        "left_shift", "right_shift",
+        "equal", "not_equal", "less", "less_equal", "greater",
+        "greater_equal", "logical_and", "logical_or", "logical_xor",
+        # unary ufuncs
+        "negative", "positive", "absolute", "abs", "fabs", "sign",
+        "exp", "expm1", "exp2", "log", "log1p", "log2", "log10",
+        "sqrt", "cbrt", "square", "reciprocal", "logical_not", "invert",
+        "sin", "cos", "tan", "tanh", "sinh", "cosh",
+        "floor", "ceil", "trunc", "rint",
+        # reductions / gathers / contractions with an out parameter
+        "sum", "prod", "mean", "cumsum", "cumprod", "clip", "round",
+        "take", "compress", "matmul", "dot", "einsum", "cross",
+    }
+)
+
+
+def _is_zero_alloc_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "zero_alloc"
+    return isinstance(target, ast.Attribute) and target.attr == "zero_alloc"
+
+
+def _has_out_keyword(call: ast.Call) -> bool:
+    return any(keyword.arg == "out" for keyword in call.keywords)
+
+
+@register_rule
+class ZeroAllocRule(Rule):
+    id = "ALLOC001"
+    title = "no allocating numpy calls inside @zero_alloc functions"
+    hint = (
+        "route the result through a preallocated workspace buffer "
+        "(out= / np.copyto / in-place method); allocation belongs in "
+        "__init__ / _build phases"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(_is_zero_alloc_decorator(d) for d in node.decorator_list):
+                continue
+            if node.name == "__init__" or node.name.startswith("_build"):
+                # setup phases allocate by design; the marker is a mistake
+                # there, but silently skipping would hide that mistake
+                yield self.finding(
+                    context,
+                    node,
+                    f"@zero_alloc on setup-phase function {node.name}; "
+                    "mark only step-time methods",
+                )
+                continue
+            yield from self._check_function(context, node)
+
+    def _check_function(
+        self, context: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                # np.<name>(...)
+                if (
+                    isinstance(callee.value, ast.Name)
+                    and callee.value.id in _NUMPY_NAMES
+                ):
+                    if callee.attr in ALLOCATING_CALLS:
+                        yield self.finding(
+                            context,
+                            node,
+                            f"np.{callee.attr} allocates a fresh array in a "
+                            "@zero_alloc function",
+                        )
+                    elif callee.attr in OUT_CAPABLE_CALLS and not _has_out_keyword(
+                        node
+                    ):
+                        yield self.finding(
+                            context,
+                            node,
+                            f"np.{callee.attr} without out= allocates its "
+                            "result in a @zero_alloc function",
+                        )
+                # <expr>.copy() / <expr>.astype(...)
+                elif callee.attr == "copy" and not node.args and not node.keywords:
+                    yield self.finding(
+                        context,
+                        node,
+                        ".copy() allocates in a @zero_alloc function",
+                    )
+                elif callee.attr == "astype":
+                    yield self.finding(
+                        context,
+                        node,
+                        ".astype() allocates a cast copy in a @zero_alloc "
+                        "function (np.copyto into a staging buffer casts "
+                        "in place)",
+                    )

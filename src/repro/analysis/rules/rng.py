@@ -1,0 +1,122 @@
+"""RNG001: randomness must flow through the seeded utils.rng streams.
+
+The repeat/stream discipline (PR 3/5) pins every stochastic result
+bit-for-bit: trainers and samplers accept a seed-like parameter and
+normalise it with ``ensure_rng`` / ``repeat_streams``.  One call into the
+legacy global-state API (``np.random.seed``, ``np.random.rand``, ...) or
+one unseeded ``np.random.default_rng()`` inside library code silently
+decouples a component from those streams — results stay plausible, tests
+that don't pin the exact draw keep passing, and reproducibility is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding, ModuleContext
+from . import Rule, register_rule
+
+__all__ = ["LegacyRandomRule"]
+
+#: numpy.random attributes that touch the legacy global state (or create
+#: untracked generators); SeedSequence / Generator / default_rng excluded
+_LEGACY_ATTRS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "poisson",
+        "exponential",
+        "gamma",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """True for the expression ``np.random`` / ``numpy.random``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    )
+
+
+def _is_default_rng(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "default_rng"
+    return isinstance(func, ast.Attribute) and func.attr == "default_rng"
+
+
+@register_rule
+class LegacyRandomRule(Rule):
+    id = "RNG001"
+    title = "no unseeded or legacy numpy randomness"
+    hint = (
+        "thread randomness through a seed-like parameter and normalise it "
+        "with repro.utils.rng.ensure_rng / repeat_streams"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            # np.random.<legacy>( ... ) or bare np.random.<legacy> reference
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _LEGACY_ATTRS
+                and _is_np_random(node.value)
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"legacy global-state randomness np.random.{node.attr}",
+                )
+            # from numpy.random import rand, seed, ...
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+            ):
+                for alias in node.names:
+                    if alias.name in _LEGACY_ATTRS:
+                        yield self.finding(
+                            context,
+                            node,
+                            f"legacy randomness imported from numpy.random: "
+                            f"{alias.name}",
+                        )
+            # default_rng() with no entropy: a fresh OS-seeded stream that
+            # no experiment fingerprint can reproduce
+            elif isinstance(node, ast.Call) and _is_default_rng(node.func):
+                unseeded = not node.args and not node.keywords
+                none_seeded = (
+                    len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if unseeded or none_seeded:
+                    yield self.finding(
+                        context,
+                        node,
+                        "unseeded default_rng(): the stream cannot be "
+                        "reproduced or fingerprinted",
+                    )

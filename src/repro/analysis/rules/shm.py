@@ -1,0 +1,123 @@
+"""SHM001: every created SharedMemory block has a release path with it.
+
+The hogwild layer (PR 6) creates named ``/dev/shm`` segments; a segment
+whose ``unlink`` lives only on the happy path outlives the process when an
+exception (or a SIGKILL-adjacent teardown) skips it — CI greps for leaked
+``repro_hw_*`` blocks, but only on the paths CI happens to exercise.  The
+rule enforces the structural contract instead: a
+``SharedMemory(create=True)`` call must be paired, *where the block is
+owned*, with either a ``weakref.finalize`` backstop or a ``try/finally``
+release.  Accepted shapes:
+
+* the creating class registers ``weakref.finalize`` anywhere in its body
+  (the :class:`~repro.embedding.shared_model.SharedSkipGramModel`
+  pattern);
+* the create call sits inside a ``try`` whose ``finally`` calls
+  ``.close()`` / ``.unlink()``;
+* a factory function immediately *returns* the block (ownership moves to
+  the caller) and the same module registers ``weakref.finalize`` for the
+  stored blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding, ModuleContext
+from . import Rule, register_rule
+
+__all__ = ["SharedMemoryReleaseRule"]
+
+_RELEASE_METHODS = ("close", "unlink")
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if (
+            keyword.arg == "create"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+        ):
+            return True
+    return False
+
+
+def _calls_finalize(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "finalize":
+                return True
+            if isinstance(func, ast.Name) and func.id == "finalize":
+                return True
+    return False
+
+
+def _finally_releases(try_node: ast.Try) -> bool:
+    for node in try_node.finalbody:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _RELEASE_METHODS
+            ):
+                return True
+    return False
+
+
+@register_rule
+class SharedMemoryReleaseRule(Rule):
+    id = "SHM001"
+    title = "SharedMemory(create=True) needs a finalize/try-finally release"
+    hint = (
+        "register weakref.finalize on the owning object (unlink-before-"
+        "close, pid-guarded) or wrap the block's lifetime in try/finally; "
+        "see embedding/shared_model.py"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        creates = [
+            node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.Call) and _is_shared_memory_create(node)
+        ]
+        if not creates:
+            return
+        module_has_finalize = _calls_finalize(context.tree)
+        for call in creates:
+            ancestors = context.ancestors(call)
+            # shape 2: created under a try whose finally releases
+            if any(
+                isinstance(anc, ast.Try) and _finally_releases(anc)
+                for anc in ancestors
+            ):
+                continue
+            # shape 1: the owning class registers a weakref.finalize backstop
+            owning_class = next(
+                (anc for anc in ancestors if isinstance(anc, ast.ClassDef)), None
+            )
+            if owning_class is not None and _calls_finalize(owning_class):
+                continue
+            # shape 3: factory immediately returning the block, with a
+            # module-level finalize registration where the blocks land
+            if owning_class is None and module_has_finalize:
+                returned = any(
+                    isinstance(anc, ast.Return) for anc in ancestors[:2]
+                )
+                if returned:
+                    continue
+            yield self.finding(
+                context,
+                call,
+                "SharedMemory(create=True) without a weakref.finalize "
+                "backstop or try/finally release on the owning scope",
+            )

@@ -1,0 +1,188 @@
+"""Walk paths, run the rules, apply suppressions and the baseline.
+
+This is the linter's engine; :mod:`repro.analysis.__main__` is the thin
+CLI over it.  Everything here is stdlib-only — the analysis package must
+import (and run on itself) in environments that have nothing but Python.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .findings import Finding, ModuleContext
+from .rules import Rule, all_rules
+from .suppressions import Suppression, collect_suppressions
+
+__all__ = ["AnalysisReport", "SuppressedFinding", "analyze_paths", "iter_python_files"]
+
+#: rule id attached to files the parser rejects
+PARSE_RULE_ID = "PARSE001"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".egg-info"}
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding silenced by an inline suppression (kept for reporting)."""
+
+    finding: Finding
+    reason: str
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[SuppressedFinding] = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any non-baselined finding is active."""
+        return 1 if self.findings else 0
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """The ``--format json`` schema (stable; tests pin the keys)."""
+        return {
+            "format": "repro-analysis-report",
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed": [
+                {**item.finding.to_dict(), "reason": item.reason}
+                for item in self.suppressed
+            ],
+            "stale_baseline": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "code": entry.code,
+                    "justification": entry.justification,
+                }
+                for entry in self.stale_baseline
+            ],
+            "counts": {
+                "active": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.stale_baseline:
+            lines.append("")
+            lines.append("stale baseline entries (remove them from the file):")
+            lines.extend(
+                f"  {entry.rule} {entry.path}: {entry.code!r}"
+                for entry in self.stale_baseline
+            )
+        summary = (
+            f"checked {self.files_checked} file(s): "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        lines.append(summary if not lines else f"\n{summary}")
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            seen.setdefault(candidate, None)
+    return list(seen)
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative posix path when possible — baseline keys must not
+    depend on the machine's absolute checkout location."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """Run the rule set over ``paths`` and fold in suppressions + baseline."""
+    active_rules = list(rules) if rules is not None else all_rules()
+    report = AnalysisReport()
+    raw_findings: list[Finding] = []
+    suppression_maps: dict[str, dict[int, Suppression]] = {}
+
+    for file_path in iter_python_files(paths):
+        display = _display_path(file_path)
+        report.files_checked += 1
+        try:
+            context = ModuleContext.parse(file_path, display)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            raw_findings.append(
+                Finding(
+                    path=display,
+                    line=line,
+                    col=1,
+                    rule=PARSE_RULE_ID,
+                    message=f"could not parse file: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                    hint="the linter only checks files the compiler accepts",
+                )
+            )
+            continue
+        suppressions, malformed = collect_suppressions(context)
+        suppression_maps[display] = suppressions
+        raw_findings.extend(malformed)
+        for rule in active_rules:
+            if rule.applies_to(display):
+                raw_findings.extend(rule.check(context))
+
+    for finding in sorted(raw_findings):
+        suppression = suppression_maps.get(finding.path, {}).get(finding.line)
+        if suppression is not None and suppression.covers(finding):
+            report.suppressed.append(
+                SuppressedFinding(finding=finding, reason=suppression.reason)
+            )
+        elif baseline is not None and baseline.matches(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries(
+            report.findings + report.baselined + [s.finding for s in report.suppressed]
+        )
+    return report
+
+
+def render_report(report: AnalysisReport, output_format: str) -> str:
+    """Render a report as ``text`` or ``json``."""
+    if output_format == "json":
+        return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    return report.render_text()

@@ -1,0 +1,105 @@
+"""Inline suppression comments: ``# repro-lint: disable=RULE -- reason``.
+
+A suppression silences the named rules *on its own line only* (the line a
+finding anchors to), and the reason after ``--`` is mandatory: a disable
+without a written justification is itself reported as ``SUP001`` and does
+not suppress anything.  Comments are located with :mod:`tokenize`, so a
+``# repro-lint:`` inside a string literal never registers.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from .findings import Finding, ModuleContext
+
+__all__ = ["Suppression", "SUPPRESSION_RULE_ID", "collect_suppressions"]
+
+#: rule id reported for malformed suppression comments
+SUPPRESSION_RULE_ID = "SUP001"
+
+_MARKER = "repro-lint:"
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed suppression comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.line and (
+            finding.rule in self.rules or "ALL" in self.rules
+        )
+
+
+def collect_suppressions(
+    context: ModuleContext,
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Parse every suppression comment in a module.
+
+    Returns ``(suppressions by line, malformed-suppression findings)``.
+    """
+    suppressions: dict[int, Suppression] = {}
+    malformed: list[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(context.source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT and _MARKER in token.string
+        ]
+    except tokenize.TokenError:  # pragma: no cover - ast.parse succeeded first
+        comments = []
+    for line, col, comment in comments:
+        match = _PATTERN.search(comment)
+        anchor = Finding(
+            path=context.display_path,
+            line=line,
+            col=col + 1,
+            rule=SUPPRESSION_RULE_ID,
+            message="",
+            code=context.source_line(line),
+        )
+        if match is None:
+            malformed.append(
+                Finding(
+                    **{
+                        **anchor.to_dict(),
+                        "message": "malformed repro-lint comment; expected "
+                        "'# repro-lint: disable=RULE -- reason'",
+                        "hint": "name the rule ids and give a reason after '--'",
+                    }
+                )
+            )
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules or not reason:
+            malformed.append(
+                Finding(
+                    **{
+                        **anchor.to_dict(),
+                        "message": "suppression without a reason; append "
+                        "' -- <why this violation is sanctioned>'",
+                        "hint": "suppressions are only valid with a written "
+                        "justification; this one is ignored",
+                    }
+                )
+            )
+            continue
+        suppressions[line] = Suppression(line=line, rules=rules, reason=reason)
+    return suppressions, malformed

@@ -103,7 +103,7 @@ class DPGGAN(BaselineEmbedder):
 
             summed = [np.zeros_like(g) for g in per_example_grads[0]]
             for example in per_example_grads:
-                for target_grad, g in zip(summed, example):
+                for target_grad, g in zip(summed, example, strict=True):
                     target_grad += g
             noise_std = privacy.noise_multiplier * privacy.clipping_threshold
             averaged = [

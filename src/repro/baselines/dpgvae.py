@@ -112,7 +112,7 @@ class DPGVAE(BaselineEmbedder):
             # DPSGD aggregation: sum clipped per-example grads, add noise, average.
             summed = [np.zeros_like(g) for g in per_example_grads[0]]
             for example in per_example_grads:
-                for target_grad, g in zip(summed, example):
+                for target_grad, g in zip(summed, example, strict=True):
                     target_grad += g
             noise_std = privacy.noise_multiplier * privacy.clipping_threshold
             averaged = [

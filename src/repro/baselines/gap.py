@@ -87,7 +87,7 @@ class GAP(BaselineEmbedder):
         features = self._rng.normal(0.0, 1.0, size=(n, self.feature_dim))
         adjacency = normalized_adjacency(graph)
         encoder = GCNEncoder(
-            [self.feature_dim] + [max(r, 16)] * (self.num_hops - 1) + [r],
+            [self.feature_dim, *[max(r, 16)] * (self.num_hops - 1), r],
             seed=self._rng,
         )
 

@@ -80,7 +80,7 @@ class ProGAP(BaselineEmbedder):
 
         current = self._rng.normal(0.0, 1.0, size=(n, self.feature_dim))
         stage_outputs: list[np.ndarray] = []
-        for stage in range(self.num_stages):
+        for _stage in range(self.num_stages):
             aggregated = clip_rows(adjacency @ current, self.row_clip)
             noisy = aggregated + self._rng.normal(0.0, noise_std, size=aggregated.shape)
             # Once perturbed, the aggregation is cached; the transform below is

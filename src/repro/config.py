@@ -15,7 +15,8 @@ fails before any expensive work starts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from .exceptions import ConfigurationError
 

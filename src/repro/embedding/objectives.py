@@ -19,10 +19,11 @@ what the non-zero perturbation strategy exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
+from ..analysis.markers import zero_alloc
 from ..engine.batch import BatchGradients, SubgraphBatch
 from ..exceptions import TrainingError
 from ..graph.sampling import EdgeSubgraph
@@ -275,6 +276,7 @@ class StructurePreferenceObjective:
             losses=self._batch_losses(scores, weights),
         )
 
+    @zero_alloc
     def _batch_gradients_into(
         self, w_in: np.ndarray, w_out: np.ndarray, batch: SubgraphBatch, workspace
     ) -> BatchGradients:

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
+from ..analysis.markers import zero_alloc
 from ..engine.batch import BatchGradients
 from ..exceptions import ConfigurationError, TrainingError
 from ..privacy.mechanisms import clip_gradient
@@ -448,6 +449,7 @@ class NonZeroPerturbation(PerturbationStrategy):
         )
 
     # ------------------------------------------------------------------ #
+    @zero_alloc
     def _clip_batch_inplace(self, batch_gradients: BatchGradients, workspace) -> None:
         """Per-example Eq. (3) clipping, mutating the workspace gradient buffers.
 
@@ -471,6 +473,7 @@ class NonZeroPerturbation(PerturbationStrategy):
         np.maximum(norms, 1.0, out=norms)
         np.divide(context_grads, ws.example_norms_col3, out=context_grads)
 
+    @zero_alloc
     def _perturb_batch_into(
         self,
         batch_gradients: BatchGradients,

@@ -81,7 +81,7 @@ def bind_legacy_positionals(
             f"{cls_name}() takes at most {len(names) + 1} positional arguments "
             f"({len(args) + 1} given)"
         )
-    for name, value in zip(names, args):
+    for name, value in zip(names, args, strict=False):
         if name in kwargs:
             raise TypeError(f"{cls_name}() got multiple values for argument {name!r}")
         kwargs[name] = value
@@ -468,8 +468,8 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         spec,
         *,
         training=None,
-        privacy=None,  # noqa: ARG003 - non-private method, accepted for protocol uniformity
-        perturbation=None,  # noqa: ARG003
+        privacy=None,  # non-private method, accepted for protocol uniformity
+        perturbation=None,
         proximity=None,
         proximity_cache="default",
         seed=None,

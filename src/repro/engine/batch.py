@@ -21,7 +21,8 @@ keep working; the arrays are the hot path, the dataclasses the view.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 

@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import os
 import tracemalloc
+import weakref
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -132,12 +133,38 @@ class _IterateSumHook(EngineHook):
             self.sum_w_out += engine.model.w_out
 
 
+def _release_blocks(
+    blocks: tuple[_shm.SharedMemory, ...], owner_pid: int
+) -> None:
+    """Close (and, in the owning process, unlink) shared blocks.
+
+    Unlink runs first and unconditionally: even if a lingering ndarray
+    view keeps a mapping pinned (``close`` then raises ``BufferError``)
+    the *name* is gone, so nothing leaks in ``/dev/shm`` — the memory is
+    freed when the last view dies.  Shared between :meth:`destroy` and the
+    ``weakref.finalize`` backstop so both exit paths behave identically.
+    """
+    unlink = os.getpid() == owner_pid
+    for block in blocks:
+        if unlink:
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - views still exported
+            pass
+
+
 class _SharedAccumulator:
     """Two shared float64 blocks pooling the workers' iterate sums.
 
     Workers add their local sums under ``lock`` once at shard end (two
     adds per worker per run, not per step), the parent divides by the
-    total step count.  The parent creates, owns and unlinks the blocks.
+    total step count.  The parent creates, owns and unlinks the blocks;
+    a pid-guarded ``weakref.finalize`` backstop releases them at garbage
+    collection if :meth:`destroy` was never reached.
     """
 
     def __init__(self, shape: tuple[int, int]) -> None:
@@ -151,6 +178,13 @@ class _SharedAccumulator:
         self.sum_w_in[:] = 0.0
         self.sum_w_out[:] = 0.0
         self._owner_pid = os.getpid()
+        # backstop if run_hogwild never reaches its finally (or a caller
+        # abandons the accumulator): unlink at GC so no segment can outlive
+        # the parent.  Guarded by pid — forked children inherit the
+        # finalizer registry but must never unlink the parent's blocks.
+        self._finalizer = weakref.finalize(
+            self, _release_blocks, self._blocks, self._owner_pid
+        )
 
     def add(self, sum_w_in: np.ndarray, sum_w_out: np.ndarray) -> None:
         self.sum_w_in += sum_w_in
@@ -158,19 +192,10 @@ class _SharedAccumulator:
 
     def destroy(self) -> None:
         """Drop the views, close the mappings and (in the owner) unlink."""
-        unlink = os.getpid() == self._owner_pid
+        self._finalizer.detach()
         self.sum_w_in = None  # type: ignore[assignment]
         self.sum_w_out = None  # type: ignore[assignment]
-        for block in self._blocks:
-            if unlink:
-                try:
-                    block.unlink()
-                except FileNotFoundError:
-                    pass
-            try:
-                block.close()
-            except BufferError:  # pragma: no cover - views still exported
-                pass
+        _release_blocks(self._blocks, self._owner_pid)
 
 
 def _seed_sequence(
@@ -282,7 +307,7 @@ def _worker_entry(
             with lock:
                 accumulator.add(averager.sum_w_in, averager.sum_w_out)
         conn.send(("ok", report))
-    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+    except BaseException as exc:  # forwarded to the parent, then re-raised
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - parent already gone
@@ -390,7 +415,7 @@ def run_hogwild(
     )
     processes = []
     try:
-        for shard, (steps, shard_seed) in enumerate(zip(shards, seeds)):
+        for shard, (steps, shard_seed) in enumerate(zip(shards, seeds, strict=True)):
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             process = ctx.Process(
                 target=_worker_entry,

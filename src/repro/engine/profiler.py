@@ -21,7 +21,8 @@ Profiling is strictly opt-in: without the hook the engine takes a single
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from .hooks import EngineHook
 

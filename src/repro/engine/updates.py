@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..analysis.markers import zero_alloc
 from ..exceptions import TrainingError
 from .workspace import WorkspacePerturbedGradients
 
@@ -168,6 +169,7 @@ class PerturbedUpdate(UpdateRule):
         if profiler is not None:
             profiler.record("descend", perf_counter() - start)
 
+    @zero_alloc
     def _descend_workspace(self, model, optimizer, perturbed) -> None:
         """Normalise and descend entirely inside the workspace buffers.
 

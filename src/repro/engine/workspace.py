@@ -33,7 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import DTypeLike
 
+from ..analysis.markers import zero_alloc
 from ..exceptions import ConfigurationError
 from .batch import BatchGradients, SubgraphBatch
 
@@ -48,7 +50,7 @@ __all__ = [
 _COMPUTE_DTYPES = {"float32": np.float32, "float64": np.float64}
 
 
-def resolve_compute_dtype(value) -> np.dtype:
+def resolve_compute_dtype(value: DTypeLike | None) -> np.dtype:
     """Normalise a ``compute_dtype`` knob value to a numpy dtype.
 
     Accepts the strings ``"float32"`` / ``"float64"``, the numpy scalar
@@ -122,6 +124,7 @@ class _SegmentScratch:
         self.gather = np.empty((slots, dim), dtype=dtype)
         self.arange = np.arange(slots, dtype=np.int64)
 
+    @zero_alloc
     def reduce(self, rows: np.ndarray, values: np.ndarray) -> int:
         """Segment-sum ``values`` by ``rows``; return the unique-row count ``U``.
 
@@ -228,7 +231,7 @@ class StepWorkspace:
         num_negatives: int,
         embedding_dim: int,
         num_nodes: int,
-        dtype=np.float64,
+        dtype: DTypeLike = np.float64,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
@@ -309,7 +312,7 @@ class StepWorkspace:
         num_negatives: int,
         embedding_dim: int,
         num_nodes: int,
-        dtype,
+        dtype: DTypeLike | None,
     ) -> bool:
         """Whether this workspace can serve a run with the given geometry."""
         return (
@@ -320,7 +323,7 @@ class StepWorkspace:
             and self.dtype == resolve_compute_dtype(dtype)
         )
 
-    def validate_model(self, model) -> None:
+    def validate_model(self, model: object) -> None:
         """Check the model's matrices against the workspace geometry."""
         w_in = getattr(model, "w_in", None)
         if w_in is None:

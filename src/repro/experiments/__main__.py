@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from ..exceptions import ConfigurationError
 from ..graph import available_datasets
@@ -271,7 +271,7 @@ def _query(args: argparse.Namespace) -> int:
     for row, node in enumerate(nodes):
         pairs = ", ".join(
             f"{int(node_id)}:{float(score):.4f}"
-            for node_id, score in zip(result.ids[row], result.scores[row])
+            for node_id, score in zip(result.ids[row], result.scores[row], strict=True)
         )
         print(f"node {node}: {pairs}")
     return 0

@@ -140,7 +140,7 @@ def _ablation_sweep(
             rows.append({"dataset": dataset_name, axis_name: value})
     report = execute(specs, workers=workers, store=store)
     table = ResultTable(title)
-    for row, result in zip(rows, report.results):
+    for row, result in zip(rows, report.results, strict=True):
         table.add_row(
             {**row, "strucequ_mean": result["mean"], "strucequ_std": result["std"]}
         )

@@ -10,7 +10,7 @@ restores the paper's settings for users who want the full run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..config import PrivacyConfig, TrainingConfig
 from ..exceptions import ConfigurationError

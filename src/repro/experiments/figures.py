@@ -15,7 +15,7 @@ cell.  ``workers`` and ``store`` behave as in :mod:`repro.experiments.tables`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from .configs import ExperimentSettings, PAPER_METHODS
 from .orchestrator import execute, specs_for_settings
@@ -63,7 +63,7 @@ def _figure_sweep(
                 placements.append((dataset_name, method, (float(epsilon),)))
     report = execute(specs, workers=workers, store=store)
     table = ResultTable(title)
-    for (dataset_name, method, epsilons), result in zip(placements, report.results):
+    for (dataset_name, method, epsilons), result in zip(placements, report.results, strict=True):
         for epsilon in epsilons:
             table.add_row(
                 {

@@ -10,7 +10,8 @@ original tables side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 __all__ = ["ExperimentResult", "ResultTable"]
 
@@ -105,10 +106,10 @@ class ResultTable:
             for i in range(len(columns))
         ]
         lines = [f"== {self.title} =="]
-        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
         lines.append("  ".join("-" * w for w in widths))
         for row in body:
-            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def __len__(self) -> int:

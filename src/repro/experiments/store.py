@@ -26,7 +26,8 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from ..exceptions import OrchestrationError
 from ..utils.fileio import atomic_write_path, tmp_file_pattern

@@ -17,7 +17,7 @@ the returned table as ``table.run_report``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from .configs import ExperimentSettings
 from .orchestrator import SweepReport, execute, specs_for_settings
@@ -77,7 +77,7 @@ def _sweep(
                 rows.append({"dataset": dataset_name, "method": variant, parameter_name: value})
     report = execute(specs, workers=workers, store=store)
     table = ResultTable(title)
-    for row, result in zip(rows, report.results):
+    for row, result in zip(rows, report.results, strict=True):
         table.add_row(
             {**row, "strucequ_mean": result["mean"], "strucequ_std": result["std"]}
         )

@@ -46,7 +46,7 @@ def erdos_renyi_graph(
     rng = ensure_rng(seed)
     iu, ju = np.triu_indices(num_nodes, k=1)
     mask = rng.random(iu.shape[0]) < edge_probability
-    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist(), strict=True))
     return Graph(num_nodes, edges, name=name)
 
 
@@ -272,7 +272,7 @@ def stochastic_block_model_graph(
     same_block = labels[iu] == labels[ju]
     probs = np.where(same_block, intra_probability, inter_probability)
     mask = rng.random(iu.shape[0]) < probs
-    edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    edges = list(zip(iu[mask].tolist(), ju[mask].tolist(), strict=True))
     return Graph(num_nodes, edges, name=name)
 
 

@@ -15,7 +15,7 @@ relabel arbitrary hashable node identifiers.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -138,7 +138,7 @@ class Graph:
         if adj.shape[0] != adj.shape[1]:
             raise GraphError(f"adjacency matrix must be square, got shape {adj.shape}")
         coo = sparse.triu(adj, k=1).tocoo()
-        edges = list(zip(coo.row.tolist(), coo.col.tolist()))
+        edges = list(zip(coo.row.tolist(), coo.col.tolist(), strict=True))
         return cls(adj.shape[0], edges, name=name)
 
     @classmethod
@@ -391,7 +391,7 @@ class Graph:
             lo = np.minimum(u, v)
             hi = np.maximum(u, v)
             keep = (lo != hi) & ~self.has_edges_bulk(lo, hi)
-            for a, b in zip(lo[keep].tolist(), hi[keep].tolist()):
+            for a, b in zip(lo[keep].tolist(), hi[keep].tolist(), strict=True):
                 key = (a, b)
                 if key in exclude_set or key in found_keys:
                     continue

@@ -8,7 +8,7 @@ own graphs into the library.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..exceptions import GraphError
 from .graph import Graph

@@ -18,7 +18,7 @@ Two negative-node distributions are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 import json
 import zipfile
 from pathlib import Path
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 

@@ -31,6 +31,8 @@ import json
 from dataclasses import dataclass, replace
 from typing import Any, TYPE_CHECKING
 
+import numpy as np
+
 from ..config import PrivacyConfig, TrainingConfig
 from ..exceptions import ConfigurationError
 from ..proximity import get_proximity
@@ -150,8 +152,8 @@ class MethodSpec:
         *,
         perturbation: str | None = None,
         deepwalk_window: int | None = None,
-        proximity_cache="default",
-        seed=None,
+        proximity_cache: Any = "default",
+        seed: int | np.random.Generator | np.random.SeedSequence | None = None,
         **overrides: Any,
     ) -> "Embedder":
         """Construct an unfitted estimator for this method.

@@ -11,6 +11,9 @@ gradients internally.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import ClassVar
+
 import numpy as np
 
 from ..exceptions import ConfigurationError
@@ -79,7 +82,7 @@ class DenseLayer:
 class Activation:
     """Element-wise activation module: relu, sigmoid, tanh or identity."""
 
-    _FORWARD = {
+    _FORWARD: ClassVar[dict[str, Callable[[np.ndarray], np.ndarray]]] = {
         "relu": lambda x: np.maximum(x, 0.0),
         "sigmoid": sigmoid,
         "tanh": np.tanh,

@@ -9,7 +9,7 @@ when the target budget would be exceeded so training can stop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -13,7 +13,7 @@ This module implements the RDP quantities the paper relies on:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -29,9 +29,9 @@ __all__ = [
 
 # A standard α grid: dense between 1 and 64, then sparser up to 512.
 DEFAULT_ALPHA_GRID: tuple[float, ...] = tuple(
-    [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5, 4.0, 4.5]
-    + list(range(5, 64))
-    + [64, 80, 96, 128, 160, 192, 256, 320, 384, 512]
+    [*(1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0, 3.5, 4.0, 4.5),
+     *range(5, 64),
+     *(64, 80, 96, 128, 160, 192, 256, 320, 384, 512)]
 )
 
 

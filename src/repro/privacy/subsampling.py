@@ -21,8 +21,8 @@ terms resolve to 2 — the form actually used by the accountant.
 
 from __future__ import annotations
 
-from math import comb, exp, expm1, log
-from typing import Callable, Sequence
+from math import comb, exp, expm1, inf, log
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -87,7 +87,7 @@ def subsampled_rdp(
     alpha: float,
     sampling_rate: float,
     rdp_at: Callable[[float], float],
-    eps_infinity: float = float("inf"),
+    eps_infinity: float = inf,
 ) -> float:
     """Amplified RDP ``ε'(α)`` of a subsampled mechanism (Theorem 4).
 

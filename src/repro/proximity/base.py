@@ -474,12 +474,12 @@ class ProximityMeasure(abc.ABC):
         same class and the same public scalar parameters share cached
         matrices.
         """
-        params = {
-            key: value
+        params = [
+            (key, value)
             for key, value in sorted(vars(self).items())
             if not key.startswith("_")
-        }
-        rendered = ",".join(f"{k}={_param_token(v)}" for k, v in params.items())
+        ]
+        rendered = ",".join(f"{k}={_param_token(v)}" for k, v in params)
         # module + qualname + registry name: two same-named classes from
         # different modules (or a redefined notebook class) must not share
         # cache entries

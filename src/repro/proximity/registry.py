@@ -10,7 +10,8 @@ same graph/measure combination never recompute the matrix.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..exceptions import ProximityError
 from ..graph import Graph

@@ -35,8 +35,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..analysis.markers import zero_alloc
 from ..engine.workspace import resolve_compute_dtype
+from ..exceptions import ConfigurationError
 
 __all__ = ["QueryEngine", "QueryWorkspace", "TopKResult"]
 
@@ -74,6 +75,7 @@ class TopKResult:
         return int(self.ids.shape[1])
 
 
+@zero_alloc
 def _pack_keys_inplace(scores_u32: np.ndarray, mask: np.ndarray, keys: np.ndarray,
                        block_ids: np.ndarray) -> None:
     """Pack a float32 score block (viewed as uint32) into ranking keys.
@@ -432,6 +434,7 @@ class QueryEngine:
         return top_ids, top_scores
 
     # ------------------------------------------------------------------ #
+    @zero_alloc
     def score_links(self, u, v, *, raw: bool = False) -> np.ndarray:
         """Eq.-aligned link scores ``σ(w_u · w_v)`` for node pairs.
 
@@ -449,7 +452,9 @@ class QueryEngine:
                 f"u and v must have the same length, got {u.size} and {v.size}"
             )
         ws = self.workspace
-        out = np.empty(u.size, dtype=self.compute_dtype)
+        # the answer itself is the one legitimate allocation: O(batch), and
+        # it must outlive the next call's workspace reuse
+        out = np.empty(u.size, dtype=self.compute_dtype)  # repro-lint: disable=ALLOC001 -- O(batch) result buffer returned to the caller
         for start in range(0, u.size, self.max_batch):
             stop = min(start + self.max_batch, u.size)
             B = stop - start

@@ -33,13 +33,17 @@ import os
 import re
 import shutil
 from pathlib import Path
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
 from uuid import uuid4
 
 import numpy as np
 
 from ..exceptions import ArtifactError, ConfigurationError
 from .engine import QueryEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..models.base import Embedder
 
 __all__ = [
     "SERVABLE_FORMAT",
@@ -120,7 +124,9 @@ def write_servable(
     return path
 
 
-def export_servable(source, path: str | Path, *, overwrite: bool = False) -> Path:
+def export_servable(
+    source: "str | Path | Embedder", path: str | Path, *, overwrite: bool = False
+) -> Path:
     """One-shot convert ``source`` into a servable directory at ``path``.
 
     ``source`` is either the path of a saved ``.npz`` model artifact or a
@@ -278,7 +284,7 @@ class ServableModel:
         return int(self.embeddings.shape[1])
 
     # ------------------------------------------------------------------ #
-    def query_engine(self, **engine_kwargs) -> QueryEngine:
+    def query_engine(self, **engine_kwargs: Any) -> QueryEngine:
         """Build a :class:`QueryEngine` over the mapped embeddings."""
         return QueryEngine(
             self.embeddings,
@@ -297,7 +303,7 @@ class ServableModel:
     def __enter__(self) -> "ServableModel":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -15,7 +15,7 @@ import os
 import re
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from collections.abc import Iterator
 from uuid import uuid4
 
 __all__ = ["atomic_write_path", "tmp_file_pattern"]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro import ConfigurationError, PrivacyConfig, TrainingConfig
@@ -60,7 +62,7 @@ class TestPrivacyConfig:
 
     def test_is_frozen(self):
         config = PrivacyConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             config.epsilon = 1.0  # type: ignore[misc]
 
 

@@ -53,7 +53,7 @@ class TestSkipGramModel:
         model = SkipGramModel(6, 3, seed=2)
         centers = np.array([0, 1, 2])
         contexts = np.array([3, 4, 5])
-        expected = [model.score(c, x) for c, x in zip(centers, contexts)]
+        expected = [model.score(c, x) for c, x in zip(centers, contexts, strict=True)]
         np.testing.assert_allclose(model.scores(centers, contexts), expected)
 
     def test_embeddings_returns_copy(self):

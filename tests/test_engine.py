@@ -130,7 +130,7 @@ class TestBatchGradientEquivalence:
         vectorized = objective.edge_weights(pool.centers, pool.positives)
         scalar = [
             objective.edge_weight(int(c), int(p))
-            for c, p in zip(pool.centers, pool.positives)
+            for c, p in zip(pool.centers, pool.positives, strict=True)
         ]
         np.testing.assert_allclose(vectorized, scalar, atol=ATOL)
 

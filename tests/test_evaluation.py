@@ -112,7 +112,7 @@ class TestLinkPredictionSplit:
         # a 20-node ring plus a pendant node whose only edge, once held
         # out as a test positive, leaves the pendant untrained
         ring = [(i, (i + 1) % 20) for i in range(20)]
-        lollipop = Graph(21, ring + [(0, 20)], name="lollipop")
+        lollipop = Graph(21, [*ring, (0, 20)], name="lollipop")
         saw_isolating, saw_clean = None, None
         for seed in range(400):
             with warnings.catch_warnings(record=True) as caught:

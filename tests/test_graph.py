@@ -77,7 +77,7 @@ class TestAccessors:
         u = rng.integers(0, small_graph.num_nodes, 500)
         v = rng.integers(0, small_graph.num_nodes, 500)
         bulk = small_graph.has_edges_bulk(u, v)
-        scalar = np.array([small_graph.has_edge(int(a), int(b)) for a, b in zip(u, v)])
+        scalar = np.array([small_graph.has_edge(int(a), int(b)) for a, b in zip(u, v, strict=True)])
         np.testing.assert_array_equal(bulk, scalar)
         # both directions of a known edge, and self-pairs, behave like has_edge
         edge = small_graph.edges[0]

@@ -98,6 +98,31 @@ class TestSharedSkipGramModel:
         del model
         assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
 
+    def test_accumulator_garbage_collection_unlinks(self):
+        # SHM001 regression (repro.analysis): _SharedAccumulator used to
+        # rely solely on run_hogwild's finally for cleanup — an abandoned
+        # accumulator leaked its two segments into /dev/shm until process
+        # exit.  The weakref.finalize backstop must release them at GC.
+        from repro.engine.hogwild import _SharedAccumulator
+
+        before = set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/wnsm_*"))
+        accumulator = _SharedAccumulator((8, 4))
+        names = {block.name for block in accumulator._blocks}
+        assert all(os.path.exists(f"/dev/shm/{n}") for n in names)
+        del accumulator
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+        after = set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/wnsm_*"))
+        assert after <= before
+
+    def test_accumulator_destroy_detaches_finalizer(self):
+        from repro.engine.hogwild import _SharedAccumulator
+
+        accumulator = _SharedAccumulator((8, 4))
+        names = {block.name for block in accumulator._blocks}
+        accumulator.destroy()
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+        assert not accumulator._finalizer.alive
+
     def test_handle_roundtrip_fields(self):
         model = SharedSkipGramModel(20, 4, seed=0, dtype=np.float32)
         try:

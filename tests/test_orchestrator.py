@@ -153,7 +153,7 @@ class TestRunSpec:
         # while the training streams stay cell-namespaced
         from repro.experiments.orchestrator import evaluation_seed_sequence
 
-        draw = lambda ss: np.random.default_rng(ss).integers(0, 2**31, size=4).tolist()  # noqa: E731
+        draw = lambda ss: np.random.default_rng(ss).integers(0, 2**31, size=4).tolist()
         a = _strucequ_spec(method="se_privgemb_dw")
         b = _strucequ_spec(method="se_privgemb_deg", perturbation="naive")
         assert draw(evaluation_seed_sequence(a)) == draw(evaluation_seed_sequence(b))
@@ -165,7 +165,7 @@ class TestRunSpec:
         a = cell_seed_sequence(_strucequ_spec(seed=0))
         b = cell_seed_sequence(_strucequ_spec(seed=1))
         same_a = cell_seed_sequence(_strucequ_spec(seed=0))
-        draw = lambda ss: np.random.default_rng(ss).integers(0, 2**31, size=4).tolist()  # noqa: E731
+        draw = lambda ss: np.random.default_rng(ss).integers(0, 2**31, size=4).tolist()
         assert draw(a) == draw(same_a)
         assert draw(a) != draw(b)
 

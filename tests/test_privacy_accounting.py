@@ -64,7 +64,7 @@ class TestRdpToDp:
         alphas = [2.0, 10.0, 100.0]
         curve = [0.01 * a for a in alphas]
         eps, best = rdp_to_dp(curve, alphas, delta=1e-5)
-        candidates = [c + np.log(1e5) / (a - 1) for c, a in zip(curve, alphas)]
+        candidates = [c + np.log(1e5) / (a - 1) for c, a in zip(curve, alphas, strict=True)]
         assert eps == pytest.approx(min(candidates))
         assert best in alphas
 

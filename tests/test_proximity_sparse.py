@@ -99,7 +99,7 @@ class TestSparseDenseEquivalence:
             **TOL,
         )
         # the vectorized form must match the scalar Eq. (10) entry-point
-        for i, j in zip(centers[:20], contexts[:20]):
+        for i, j in zip(centers[:20], contexts[:20], strict=True):
             assert sparse_prox.theoretical_optimal_inner_product(
                 int(i), int(j), k
             ) == pytest.approx(
@@ -276,8 +276,8 @@ class TestSparseComputePath:
             def compute_matrix(self, graph):
                 return np.zeros((graph.num_nodes, graph.num_nodes))
 
-        half = lambda d: d**0.5  # noqa: E731
-        threequarter = lambda d: d**0.75  # noqa: E731
+        half = lambda d: d**0.5
+        threequarter = lambda d: d**0.75
         fp = CallableParamMeasure(half).fingerprint()
         assert "0x" not in fp  # no memory addresses: stable across processes
         assert fp == CallableParamMeasure(half).fingerprint()
@@ -294,7 +294,7 @@ class TestSparseComputePath:
             CallableParamMeasure(make(0.0)).fingerprint()
             != CallableParamMeasure(make(100.0)).fingerprint()
         )
-        base = lambda d, offset: d + offset  # noqa: E731
+        base = lambda d, offset: d + offset
         assert (
             CallableParamMeasure(functools.partial(base, offset=0.0)).fingerprint()
             != CallableParamMeasure(functools.partial(base, offset=100.0)).fingerprint()

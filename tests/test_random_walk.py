@@ -13,7 +13,7 @@ class TestWalkGeneration:
         walker = RandomWalker(small_graph, walk_length=10, seed=0)
         walk = walker.walk_from(0)
         assert len(walk) == 10
-        for a, b in zip(walk, walk[1:]):
+        for a, b in zip(walk, walk[1:], strict=False):
             assert small_graph.has_edge(a, b)
 
     def test_isolated_node_walk_stops_immediately(self):
@@ -57,7 +57,7 @@ class TestBiasedWalks:
             small_graph, walk_length=15, return_param=0.5, inout_param=2.0, seed=2
         )
         walk = walker.walk_from(1)
-        for a, b in zip(walk, walk[1:]):
+        for a, b in zip(walk, walk[1:], strict=False):
             assert small_graph.has_edge(a, b)
 
 
