@@ -1,0 +1,275 @@
+"""Streaming benchmarks: delta application, invalidation reuse, warm-start refits.
+
+Three headline numbers for the streaming subsystem, all on the ~20k-node
+small-world benchmark graph under ~1% edge churn:
+
+* **apply_delta vs rebuild** — incremental CSR-order merge against a full
+  ``Graph(n, edited_edge_list)`` re-canonicalisation.  Floor:
+  ``REPRO_BENCH_MIN_DELTA_SPEEDUP`` (default 1.0; locally ~3-10x — the
+  merge is O(m + k) against the rebuild's O(m log m) sort).
+* **planner refresh vs scratch** — the :class:`DeltaPlanner` recomputing
+  only the invalidated row block of a truncated DeepWalk matrix against a
+  scratch ``measure.compute``.  Floor:
+  ``REPRO_BENCH_MIN_INVALIDATION_SPEEDUP`` (default 1.0); the result must
+  also match scratch to 1e-8.
+* **warm-start refit quality** — the acceptance criterion of the streaming
+  subsystem: a refit seeded from the pre-churn artifact must reach cold-fit
+  link-prediction AUC (minus ``REPRO_BENCH_WARMSTART_AUC_SLACK``, default
+  0.01) in 25% of the cold fit's steps.
+
+``REPRO_STREAMING_BENCH_NODES`` scales the graph (default 20000); CI smoke
+runs a reduced node count with the same assertions.  Headline numbers are
+written to ``BENCH_streaming_*.json`` and recorded in
+``RESULTS_streaming.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import EdgeDelta, DeltaPlanner, Graph, TrainingConfig, apply_delta
+from repro.evaluation import link_prediction_auc, make_link_prediction_split
+from repro.graph import load_dataset
+from repro.models import MethodSpec, get_method, register
+from repro.proximity import DeepWalkProximity
+
+from conftest import write_bench_artifact
+
+# The paper's se_gemb_dw spec keeps the exact (untruncated) DeepWalk
+# matrix, which densifies at benchmark scale; this bench-local variant is
+# the same trainer over the truncated CSR backend.  DeepWalk preference is
+# the right probe here: its link-prediction AUC improves with training, so
+# "warm reaches cold quality in fewer steps" is a meaningful criterion
+# (the degree preference plateaus early and drifts, drowning the
+# comparison in objective-vs-AUC mismatch).
+register(
+    MethodSpec(
+        name="bench_se_gemb_dw",
+        embedder="repro.embedding.trainer:SEGEmbTrainer",
+        proximity="deepwalk",
+        proximity_params=(("truncation_threshold", 0.01), ("window_size", 5)),
+        description="bench-local truncated-DeepWalk SE-GEmb",
+    ),
+    overwrite=True,
+)
+
+BENCH_NODES = int(os.environ.get("REPRO_STREAMING_BENCH_NODES", "20000"))
+CHURN = 0.01
+ROUNDS = 3
+MIN_DELTA_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_DELTA_SPEEDUP", "1.0"))
+MIN_INVALIDATION_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_INVALIDATION_SPEEDUP", "1.0")
+)
+AUC_SLACK = float(os.environ.get("REPRO_BENCH_WARMSTART_AUC_SLACK", "0.01"))
+COLD_EPOCHS = int(os.environ.get("REPRO_STREAMING_COLD_EPOCHS", "600"))
+WARM_STEP_FRACTION = 0.25  # the acceptance criterion: <= 25% of cold steps
+
+
+def _bench_graph() -> Graph:
+    return load_dataset("smallworld", num_nodes=BENCH_NODES, seed=3)
+
+
+def _churn_delta(graph: Graph, fraction: float = CHURN, seed: int = 17) -> EdgeDelta:
+    """Delete ``fraction`` of the edges and insert as many fresh non-edges."""
+    rng = np.random.default_rng(seed)
+    edges = graph.edges
+    k = max(1, int(edges.shape[0] * fraction))
+    deletes = edges[rng.choice(edges.shape[0], size=k, replace=False)]
+    existing = {(int(u), int(v)) for u, v in edges.tolist()}
+    inserts: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    while len(inserts) < k:
+        u, v = rng.integers(0, graph.num_nodes, size=2).tolist()
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in existing or pair in seen:
+            continue
+        seen.add(pair)
+        inserts.append(pair)
+    return EdgeDelta(inserts=inserts, deletes=deletes)
+
+
+def _best_seconds(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_apply_delta_beats_rebuild():
+    graph = _bench_graph()
+    delta = _churn_delta(graph)
+
+    def rebuild() -> Graph:
+        edge_set = {(int(u), int(v)) for u, v in graph.edges.tolist()}
+        edge_set -= {(int(u), int(v)) for u, v in delta.deletes.tolist()}
+        edge_set |= {(int(u), int(v)) for u, v in delta.inserts.tolist()}
+        return Graph(graph.num_nodes, sorted(edge_set))
+
+    incremental = apply_delta(graph, delta)
+    assert incremental.content_fingerprint() == rebuild().content_fingerprint()
+
+    delta_seconds = _best_seconds(lambda: apply_delta(graph, delta))
+    rebuild_seconds = _best_seconds(rebuild)
+    speedup = rebuild_seconds / delta_seconds
+
+    write_bench_artifact(
+        "streaming_delta",
+        {
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "churn_edges": int(delta.num_inserts + delta.num_deletes),
+            "apply_delta_seconds": delta_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": speedup,
+            "floor": MIN_DELTA_SPEEDUP,
+        },
+    )
+    print(
+        f"\napply_delta: {delta_seconds * 1e3:.2f} ms vs rebuild "
+        f"{rebuild_seconds * 1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= MIN_DELTA_SPEEDUP
+
+
+def test_planner_refresh_beats_scratch():
+    graph = _bench_graph()
+    # One streaming *batch* rather than the cumulative 1% churn: the
+    # radius-w ball around a thousand touched nodes covers a small-world
+    # graph entirely (the planner correctly falls back to full there), so
+    # row reuse is exercised at the per-batch granularity it is built for.
+    delta = _churn_delta(graph, fraction=4 / graph.num_edges, seed=23)
+    new_graph = apply_delta(graph, delta)
+    measure = DeepWalkProximity(window_size=3, truncation_threshold=1e-2)
+    planner = DeltaPlanner()
+
+    old_matrix = measure.compute(graph, sparse=True)
+    result = planner.refresh(
+        graph, delta, measure, new_graph=new_graph, sparse=True, old_matrix=old_matrix
+    )
+    scratch = measure.compute(new_graph, sparse=True)
+    diff = result.matrix.sparse_matrix - scratch.sparse_matrix
+    error = np.abs(diff.toarray()).max() if diff.nnz else 0.0
+    assert error <= 1e-8
+    assert result.source == "splice"
+
+    refresh_seconds = _best_seconds(
+        lambda: planner.refresh(
+            graph,
+            delta,
+            measure,
+            new_graph=new_graph,
+            sparse=True,
+            old_matrix=old_matrix,
+        )
+    )
+    scratch_seconds = _best_seconds(lambda: measure.compute(new_graph, sparse=True))
+    speedup = scratch_seconds / refresh_seconds
+
+    write_bench_artifact(
+        "streaming_invalidation",
+        {
+            "nodes": graph.num_nodes,
+            "measure": measure.name,
+            "affected_rows": result.plan.num_affected,
+            "reuse_fraction": result.plan.reuse_fraction,
+            "refresh_seconds": refresh_seconds,
+            "scratch_seconds": scratch_seconds,
+            "speedup": speedup,
+            "max_error": float(error),
+            "floor": MIN_INVALIDATION_SPEEDUP,
+        },
+    )
+    print(
+        f"\nplanner refresh: {refresh_seconds * 1e3:.1f} ms vs scratch "
+        f"{scratch_seconds * 1e3:.1f} ms ({speedup:.1f}x, "
+        f"reuse {result.plan.reuse_fraction:.1%})"
+    )
+    assert speedup >= MIN_INVALIDATION_SPEEDUP
+
+
+SEEDS = (1, 2)  # AUC differences at bench scale are seed-noisy; average
+
+
+def _fit_auc(split, epochs: int, warm_start=None, seed: int = 0) -> float:
+    config = TrainingConfig(
+        embedding_dim=64,
+        batch_size=1024,
+        learning_rate=0.1,
+        negative_samples=5,
+        epochs=epochs,
+    )
+    model = get_method("bench_se_gemb_dw").build(config, seed=seed)
+    model.fit(split.training_graph, warm_start=warm_start)
+    return link_prediction_auc(model.embeddings_, split)
+
+
+def test_warm_start_refit_reaches_cold_quality(tmp_path):
+    graph_old = _bench_graph()
+    delta = _churn_delta(graph_old)
+    graph_new = apply_delta(graph_old, delta)
+    split = make_link_prediction_split(graph_new, seed=11)
+
+    # The donor sees the *pre-churn* graph, scrubbed of the post-churn test
+    # positives so the refit comparison is leak-free.
+    donor_graph = graph_old.subgraph_without_edges(split.test_positive)
+    donor_config = TrainingConfig(
+        embedding_dim=64,
+        batch_size=1024,
+        learning_rate=0.1,
+        negative_samples=5,
+        epochs=COLD_EPOCHS,
+    )
+    donor = get_method("bench_se_gemb_dw").build(donor_config, seed=0)
+    donor_start = time.perf_counter()
+    donor.fit(donor_graph)
+    donor_seconds = time.perf_counter() - donor_start
+    artifact = tmp_path / "donor.npz"
+    donor.save(artifact)
+
+    warm_epochs = max(1, int(COLD_EPOCHS * WARM_STEP_FRACTION))
+    cold_start = time.perf_counter()
+    auc_cold = float(
+        np.mean([_fit_auc(split, COLD_EPOCHS, seed=seed) for seed in SEEDS])
+    )
+    cold_seconds = (time.perf_counter() - cold_start) / len(SEEDS)
+    warm_start_time = time.perf_counter()
+    auc_warm = float(
+        np.mean(
+            [
+                _fit_auc(split, warm_epochs, warm_start=str(artifact), seed=seed)
+                for seed in SEEDS
+            ]
+        )
+    )
+    warm_seconds = (time.perf_counter() - warm_start_time) / len(SEEDS)
+
+    write_bench_artifact(
+        "streaming_warmstart",
+        {
+            "nodes": graph_new.num_nodes,
+            "edges": graph_new.num_edges,
+            "churn_edges": int(delta.num_inserts + delta.num_deletes),
+            "cold_epochs": COLD_EPOCHS,
+            "warm_epochs": warm_epochs,
+            "step_fraction": WARM_STEP_FRACTION,
+            "auc_cold": auc_cold,
+            "auc_warm": auc_warm,
+            "auc_slack": AUC_SLACK,
+            "donor_fit_seconds": donor_seconds,
+            "cold_fit_seconds": cold_seconds,
+            "warm_fit_seconds": warm_seconds,
+        },
+    )
+    print(
+        f"\nwarm-start refit: AUC {auc_warm:.4f} in {warm_epochs} steps vs cold "
+        f"{auc_cold:.4f} in {COLD_EPOCHS} steps "
+        f"({warm_seconds:.1f}s vs {cold_seconds:.1f}s)"
+    )
+    assert auc_warm + AUC_SLACK >= auc_cold

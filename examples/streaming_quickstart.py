@@ -1,0 +1,148 @@
+"""Streaming quickstart: edge deltas, cached-row reuse, warm refits, the ledger.
+
+Run with:
+
+    python examples/streaming_quickstart.py
+
+The script walks one full streaming episode:
+
+1. a batch of edge churn arrives as an :class:`~repro.EdgeDelta` and is
+   applied incrementally with :func:`~repro.apply_delta`;
+2. the :class:`~repro.DeltaPlanner` decides which rows of each cached
+   proximity matrix survive the delta and splices only the invalidated
+   block;
+3. a private refit is *warm-started* from the pre-churn artifact instead
+   of training from scratch;
+4. every private fit and every delta is recorded in a persistent
+   :class:`~repro.PrivacyLedger`, which composes the cumulative (ε, δ)
+   across the whole lineage and refuses refits that would blow the budget.
+
+Set ``REPRO_EXAMPLE_SMOKE=1`` to shrink the run to CI-smoke size.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    DeltaPlanner,
+    EdgeDelta,
+    PrivacyBudgetExhausted,
+    PrivacyConfig,
+    PrivacyLedger,
+    TrainingConfig,
+    apply_delta,
+    get_method,
+    load_dataset,
+)
+from repro.proximity import CommonNeighborsProximity
+
+SMOKE = os.environ.get("REPRO_EXAMPLE_SMOKE") == "1"
+NUM_NODES = 300 if SMOKE else 2000
+EPOCHS = 10 if SMOKE else 60
+
+
+def make_churn(graph, count: int, seed: int) -> EdgeDelta:
+    """A small streaming batch: delete ``count`` edges, insert ``count`` new ones."""
+    rng = np.random.default_rng(seed)
+    edges = graph.edges
+    deletes = edges[rng.choice(edges.shape[0], size=count, replace=False)]
+    existing = {(int(u), int(v)) for u, v in edges.tolist()}
+    inserts: list[tuple[int, int]] = []
+    while len(inserts) < count:
+        u, v = sorted(rng.integers(0, graph.num_nodes, size=2).tolist())
+        if u != v and (u, v) not in existing and (u, v) not in inserts:
+            inserts.append((u, v))
+    return EdgeDelta(inserts=inserts, deletes=deletes)
+
+
+def main() -> None:
+    graph = load_dataset("smallworld", num_nodes=NUM_NODES, seed=0)
+    print(f"Loaded {graph}")
+
+    # -- 1. an edge-churn batch arrives ---------------------------------- #
+    delta = make_churn(graph, count=3 if SMOKE else 10, seed=1)
+    updated = apply_delta(graph, delta)
+    print(f"Applied {delta}: {graph.num_edges} -> {updated.num_edges} edges")
+
+    # -- 2. incremental proximity invalidation --------------------------- #
+    measure = CommonNeighborsProximity()
+    planner = DeltaPlanner()
+    old_matrix = measure.compute(graph, sparse=True)
+    result = planner.refresh(
+        graph, delta, measure, new_graph=updated, sparse=True, old_matrix=old_matrix
+    )
+    plan = result.plan
+    print(
+        f"Planner kept {plan.num_reused}/{plan.num_rows} rows of "
+        f"{measure.name!r} (source={result.source}, radius={plan.radius})"
+    )
+
+    training = TrainingConfig(
+        embedding_dim=8 if SMOKE else 32,
+        batch_size=64,
+        learning_rate=0.1,
+        negative_samples=3,
+        epochs=EPOCHS,
+    )
+    privacy = PrivacyConfig(
+        epsilon=3.5, delta=1e-5, noise_multiplier=5.0, clipping_threshold=2.0
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        ledger = PrivacyLedger(Path(workdir) / "ledger.json")
+
+        # -- 3. first private fit, recorded in the ledger ---------------- #
+        model = get_method("se_privgemb_deg").build(training, privacy, seed=0)
+        model.fit(graph, ledger=ledger)
+        artifact = Path(workdir) / "model.npz"
+        model.save(artifact)
+        spent = ledger.total_spent()
+        print(f"Fit #1 done: ledger ε={spent.epsilon:.3f} after {ledger.total_steps()} steps")
+
+        # -- 4. the delta advances the lineage, then a warm refit -------- #
+        ledger.record_delta(graph, updated, delta)
+        refit = get_method("se_privgemb_deg").build(training, privacy, seed=1)
+        refit.fit(updated, warm_start=str(artifact), ledger=ledger)
+        spent = ledger.total_spent()
+        print(
+            f"Warm refit done ({refit._last_warm_start['copied_rows']} rows seeded): "
+            f"cumulative ε={spent.epsilon:.3f} over {ledger.total_steps()} steps"
+        )
+
+        # -- 5. the ledger refuses a refit the budget cannot afford ------ #
+        remaining = ledger.remaining_steps(
+            privacy.epsilon,
+            privacy.delta,
+            noise_multiplier=privacy.noise_multiplier,
+            sampling_rate=model.accountant.sampling_rate,
+        )
+        print(f"Budget ε={privacy.epsilon} admits {remaining} more steps")
+        # A target equal to what is already spent admits nothing: the
+        # admission check refuses *before* any training happens.
+        exhausted = PrivacyConfig(
+            epsilon=spent.epsilon,
+            delta=privacy.delta,
+            noise_multiplier=privacy.noise_multiplier,
+            clipping_threshold=privacy.clipping_threshold,
+        )
+        try:
+            strict = get_method("se_privgemb_deg").build(training, exhausted, seed=2)
+            strict.fit(updated, ledger=ledger)
+        except PrivacyBudgetExhausted as refusal:
+            print(f"Refused before spending: {refusal}")
+
+        summary = ledger.summary()
+        print(
+            f"Ledger: {summary['fits']} fits + {summary['deltas']} delta over "
+            f"lineage head {summary['dataset_fingerprint'][:12]}..., "
+            f"ε={summary['epsilon']:.3f} at δ={summary['delta']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

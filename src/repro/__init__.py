@@ -41,7 +41,8 @@ from .proximity import (
     get_proximity,
     available_proximities,
 )
-from .privacy import RdpAccountant, MomentsAccountant, GaussianMechanism
+from .privacy import RdpAccountant, MomentsAccountant, GaussianMechanism, PrivacyLedger
+from .streaming import EdgeDelta, apply_delta, DeltaPlanner, InvalidationPlan
 from .engine import (
     BatchGradients,
     SubgraphBatch,
@@ -109,6 +110,11 @@ __all__ = [
     "RdpAccountant",
     "MomentsAccountant",
     "GaussianMechanism",
+    "PrivacyLedger",
+    "EdgeDelta",
+    "apply_delta",
+    "DeltaPlanner",
+    "InvalidationPlan",
     "BatchGradients",
     "SubgraphBatch",
     "TrainingEngine",

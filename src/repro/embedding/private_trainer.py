@@ -160,6 +160,9 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
     convention, followed by ``train()``) is still supported but deprecated.
     """
 
+    #: private fits can check admission against / record into a PrivacyLedger
+    _supports_ledger = True
+
     _LEGACY_POSITIONALS = (
         "proximity",
         "training_config",
@@ -383,17 +386,47 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         epochs = int(epochs) if epochs is not None else self.training_config.epochs
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
+        ledger = self._active_ledger
+        ledger_capped = False
+        if ledger is not None:
+            # Durable budget gate: the in-process accountant starts at zero,
+            # so prior refits recorded in the ledger must bound this run.
+            # check_admission raises PrivacyBudgetExhausted *before* any
+            # mechanism invocation when even one step would break the target.
+            ledger.attach(self.accountant)
+            admissible = ledger.check_admission(
+                self.privacy_config.epsilon,
+                self.privacy_config.delta,
+                noise_multiplier=self.privacy_config.noise_multiplier,
+                sampling_rate=self._sampler.sampling_rate,
+            )
+            if epochs > admissible:
+                _LOGGER.info(
+                    "privacy ledger caps this refit at %d of %d requested epochs",
+                    admissible,
+                    epochs,
+                )
+                epochs = admissible
+                ledger_capped = True
         if getattr(self, "_active_workers", 1) > 1:
             result = self._run_private_hogwild(epochs)
         else:
             result = self.engine.run(epochs)
         spent = self.accountant.get_privacy_spent(self.privacy_config.delta)
+        if ledger is not None:
+            ledger.record_accountant(
+                self.graph,
+                self.accountant,
+                method=self._spec.name if self._spec is not None else type(self).__name__,
+                delta=self.privacy_config.delta,
+                target_epsilon=self.privacy_config.epsilon,
+            )
         self._embeddings = result.embeddings
         self._context_embeddings = result.context_embeddings
         return FitResult(
             losses=result.losses,
             epochs_run=result.epochs_run,
-            stopped_early=result.stopped_early,
+            stopped_early=result.stopped_early or ledger_capped,
             privacy_spent=spent,
         )
 

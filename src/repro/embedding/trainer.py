@@ -119,6 +119,8 @@ class SkipGramTrainerBase(Embedder):
     proximity_matrix: ProximityMatrix | None
     _proximity_cache: object
     _seed: object
+    #: both skip-gram trainers can seed matrices from a prior artifact
+    _supports_warm_start = True
     #: hogwild worker count requested at construction (1 = serial path)
     workers: int = 1
     #: have hogwild workers report tracemalloc evidence (tests/benchmarks)
@@ -146,12 +148,42 @@ class SkipGramTrainerBase(Embedder):
         so the choice never perturbs any downstream sampling stream.
         """
         model_cls = SharedSkipGramModel if self._active_workers > 1 else SkipGramModel
-        return model_cls(
+        model = model_cls(
             graph.num_nodes,
             self.training_config.embedding_dim,
             seed=self._rng,
             dtype=self.compute_dtype,
         )
+        self._apply_warm_start(model)
+        return model
+
+    def _apply_warm_start(self, model: SkipGramModel) -> None:
+        """Overwrite the model's leading rows with the warm-start matrices.
+
+        The model is always constructed through its full pinned init stream
+        first, so node ``i >= donor`` rows (new nodes) keep exactly the
+        initialisation a cold fit would give them, and the RNG stream
+        position after ``_make_model`` is identical either way — sampling
+        downstream is unperturbed by warm starting.  Donor rows beyond the
+        current node count (removed nodes) are simply not copied.
+        """
+        warm = self._pending_warm_start
+        if warm is None:
+            return
+        shared = min(model.num_nodes, warm.num_nodes)
+        model.w_in[:shared] = warm.embeddings[:shared].astype(model.dtype, copy=False)
+        if warm.context_embeddings is not None:
+            model.w_out[:shared] = warm.context_embeddings[:shared].astype(
+                model.dtype, copy=False
+            )
+        self._last_warm_start = {
+            "source": warm.source,
+            "method": warm.method,
+            "dataset_fingerprint": warm.dataset_fingerprint,
+            "donor_nodes": warm.num_nodes,
+            "copied_rows": int(shared),
+            "copied_context": warm.context_embeddings is not None,
+        }
 
     def _fit_rng(self) -> np.random.Generator:
         # training_config is the protocol-wide name (SEGEmbTrainer aliases

@@ -124,6 +124,43 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--metric", choices=("cosine", "dot"), default="cosine", help="similarity"
     )
+
+    delta = sub.add_parser(
+        "delta",
+        help="apply an edge delta to an edge-list graph (and plan invalidation)",
+    )
+    delta.add_argument("graph", help="edge-list file of the base graph")
+    delta.add_argument("--num-nodes", type=int, default=None, help="base graph node count")
+    delta.add_argument(
+        "--insert", default=None, help="comma-separated edge pairs to insert, e.g. 3-17,4-9"
+    )
+    delta.add_argument(
+        "--delete", default=None, help="comma-separated edge pairs to delete, e.g. 0-5"
+    )
+    delta.add_argument(
+        "--grow-to", type=int, default=None, help="node count of the resulting graph"
+    )
+    delta.add_argument("--out", default=None, metavar="FILE", help="write the updated edge list")
+    delta.add_argument(
+        "--plan",
+        default=None,
+        metavar="MEASURE",
+        help="print the invalidation plan for a registered proximity measure",
+    )
+    delta.add_argument(
+        "--ledger", default=None, metavar="FILE", help="record the lineage step in a privacy ledger"
+    )
+
+    ledger = sub.add_parser(
+        "ledger", help="verify a privacy ledger and print its cumulative (ε, δ)"
+    )
+    ledger.add_argument("path", help="the ledger JSON file")
+    ledger.add_argument(
+        "--delta", type=float, default=None, help="target δ for the cumulative ε"
+    )
+    ledger.add_argument(
+        "--entries", action="store_true", help="also list every chained entry"
+    )
     return parser
 
 
@@ -277,6 +314,92 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_pairs(raw: str | None, label: str) -> list[tuple[int, int]]:
+    """Parse ``u-v,u-v`` (or ``u:v``) pair syntax into edge tuples."""
+    if not raw:
+        return []
+    pairs: list[tuple[int, int]] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        separator = "-" if "-" in token else ":"
+        parts = token.split(separator)
+        if len(parts) != 2:
+            raise ConfigurationError(
+                f"--{label} expects comma-separated u-v pairs, got {token!r}"
+            )
+        pairs.append((int(parts[0]), int(parts[1])))
+    return pairs
+
+
+def _delta(args: argparse.Namespace) -> int:
+    """Apply an edge delta to an edge-list graph; optionally plan/record it."""
+    from ..graph.io import read_edge_list, write_edge_list
+    from ..streaming import DeltaPlanner, EdgeDelta, apply_delta
+
+    graph = read_edge_list(args.graph, num_nodes=args.num_nodes)
+    delta = EdgeDelta(
+        inserts=_parse_edge_pairs(args.insert, "insert"),
+        deletes=_parse_edge_pairs(args.delete, "delete"),
+        num_nodes=args.grow_to,
+    )
+    new_graph = apply_delta(graph, delta)
+    print(f"base:  {graph.name} nodes={graph.num_nodes} edges={graph.num_edges} "
+          f"fingerprint={graph.content_fingerprint()}")
+    print(f"delta: +{delta.num_inserts} -{delta.num_deletes} "
+          f"fingerprint={delta.fingerprint()}")
+    print(f"new:   nodes={new_graph.num_nodes} edges={new_graph.num_edges} "
+          f"fingerprint={new_graph.content_fingerprint()}")
+    if args.plan:
+        from ..proximity import get_proximity
+
+        measure = get_proximity(args.plan)
+        plan = DeltaPlanner().plan(graph, delta, measure, new_graph=new_graph)
+        print(f"plan[{measure.name}]: scope={plan.scope} "
+              f"recompute={plan.num_affected}/{plan.num_rows} rows "
+              f"(reuse {plan.reuse_fraction:.1%}) — {plan.reason}")
+    if args.ledger:
+        from ..privacy import PrivacyLedger
+
+        ledger = PrivacyLedger(args.ledger)
+        entry = ledger.record_delta(graph, new_graph, delta)
+        print(f"ledger: recorded lineage step {entry['entry_hash']} in {args.ledger}")
+    if args.out:
+        write_edge_list(new_graph, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _ledger(args: argparse.Namespace) -> int:
+    """Verify a ledger's hash chain and print its cumulative budget."""
+    from ..privacy import PrivacyLedger
+
+    ledger = PrivacyLedger(args.path)  # load verifies the chain
+    summary = ledger.summary(args.delta)
+    print(f"ledger: {summary['path']}")
+    print(f"entries: {summary['entries']} ({summary['fits']} fits, "
+          f"{summary['deltas']} deltas), chain verified")
+    print(f"lineage head: {summary['dataset_fingerprint']}")
+    print(f"total steps: {summary['total_steps']}")
+    if summary["total_steps"]:
+        print(f"cumulative: ε={summary['epsilon']:.4f} δ={summary['delta']:.1e} "
+              f"(best α={summary['best_alpha']:g})")
+    else:
+        print("cumulative: no private fits recorded")
+    if args.entries:
+        for position, entry in enumerate(ledger.entries):
+            if entry["kind"] == "fit":
+                print(f"  [{position}] fit {entry['method']} steps={entry['steps']} "
+                      f"ε={entry['epsilon']:.4f} σ={entry['noise_multiplier']} "
+                      f"γ={entry['sampling_rate']:.4g}")
+            else:
+                print(f"  [{position}] delta {entry['parent_dataset_fingerprint'][:12]} "
+                      f"-> {entry['dataset_fingerprint'][:12]} "
+                      f"(+{entry.get('num_inserts', '?')} -{entry.get('num_deletes', '?')})")
+    return 0
+
+
 def _list() -> int:
     print("tables:    " + ", ".join(str(n) for n in sorted(_TABLES)))
     print("figures:   " + ", ".join(str(n) for n in sorted(_FIGURES)))
@@ -295,6 +418,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _inspect(args)
     if args.command == "query":
         return _query(args)
+    if args.command == "delta":
+        return _delta(args)
+    if args.command == "ledger":
+        return _ledger(args)
     if args.values and args.table is None:
         parser.error("--values only applies to --table sweeps")
     if args.methods and args.figure is None:

@@ -15,6 +15,7 @@ relabel arbitrary hashable node identifiers.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -117,6 +118,32 @@ class Graph:
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_canonical_edges(
+        cls, num_nodes: int, edges: np.ndarray, name: str = "graph"
+    ) -> "Graph":
+        """Construct a graph from an already-canonical edge array.
+
+        The caller guarantees the :meth:`_canonical_edges` invariant —
+        ``(m, 2)`` int64, ``u < v`` per row, lexicographically sorted,
+        unique, every index in ``[0, num_nodes)``.  The streaming delta
+        path maintains that invariant incrementally (sorted merges over
+        packed keys) and uses this constructor to skip the O(m log m)
+        re-canonicalisation a plain ``Graph(...)`` would pay.
+        """
+        if num_nodes <= 0:
+            raise GraphError(f"num_nodes must be positive, got {num_nodes}")
+        graph = cls.__new__(cls)
+        graph._num_nodes = int(num_nodes)
+        graph._name = name
+        graph._edges = np.ascontiguousarray(edges, dtype=np.int64).reshape(-1, 2)
+        graph._nbr_values = None
+        graph._nbr_offsets = None
+        graph._adjacency = None
+        graph._adjacency_keys = None
+        graph._content_fingerprint = None
+        return graph
+
     @classmethod
     def from_edge_list(
         cls,
@@ -297,14 +324,32 @@ class Graph:
         return Graph(self._num_nodes, kept, name=name or f"{self._name}-pruned")
 
     def with_extra_edges(self, added: Iterable[tuple[int, int]], name: str | None = None) -> "Graph":
-        """Return a copy of the graph with additional edges inserted."""
+        """Return a copy of the graph with additional edges inserted.
+
+        Inserting an edge that is already present (or listed twice in
+        ``added``) warns with :class:`RuntimeWarning` instead of silently
+        deduplicating — a delta author applying the same batch twice should
+        hear about it rather than get a structurally identical graph back.
+        """
         extra = np.asarray([(int(u), int(v)) for u, v in added], dtype=np.int64)
         edges = (
             np.concatenate([self._edges, extra.reshape(-1, 2)], axis=0)
             if extra.size
             else self._edges
         )
-        return Graph(self._num_nodes, edges, name=name or f"{self._name}-augmented")
+        graph = Graph(self._num_nodes, edges, name=name or f"{self._name}-augmented")
+        if extra.size:
+            requested = int(extra.reshape(-1, 2).shape[0])
+            dropped = requested - (graph.num_edges - self.num_edges)
+            if dropped:
+                warnings.warn(
+                    f"{dropped} of {requested} inserted edges were already present "
+                    f"in graph {self._name!r} or duplicated within the batch; they "
+                    "were collapsed (double-applied delta?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return graph
 
     def remove_node_edges(self, node: int, name: str | None = None) -> "Graph":
         """Return a node-level neighbour of this graph.

@@ -24,7 +24,7 @@ from .artifacts import (
     peek_artifact,
     save_artifact,
 )
-from .base import Embedder, FitResult
+from .base import Embedder, FitResult, WarmStart
 from .registry import (
     MethodSpec,
     available_methods,
@@ -46,4 +46,5 @@ __all__ = [
     "peek_artifact",
     "register",
     "save_artifact",
+    "WarmStart",
 ]

@@ -164,4 +164,13 @@ def peek_artifact(path: str | Path) -> dict[str, Any]:
         raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
     metadata = dict(_validate_envelope(path, metadata))
     metadata["arrays"] = arrays_info
+    # Audit summary: hoist the budget actually spent and the dataset
+    # fingerprint to the top level so ledger tooling and `experiments
+    # inspect` can audit an artifact without digging through `result`
+    # (or loading any payload).
+    result = metadata.get("result")
+    metadata["privacy_spent"] = (
+        result.get("privacy_spent") if isinstance(result, dict) else None
+    )
+    metadata.setdefault("dataset_fingerprint", None)
     return metadata

@@ -28,6 +28,7 @@ the method registry (:mod:`repro.models.registry`):
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, TYPE_CHECKING
@@ -35,17 +36,44 @@ from typing import Any, TYPE_CHECKING
 import numpy as np
 
 from ..config import PrivacyConfig, TrainingConfig
-from ..exceptions import ArtifactError, ConfigurationError, TrainingError
+from ..exceptions import ArtifactError, ConfigurationError, PrivacyError, TrainingError
 from ..graph import Graph
 from ..privacy.accountant import PrivacySpent
 from ..utils.rng import ensure_rng
 from .artifacts import load_artifact, save_artifact
 
 if TYPE_CHECKING:  # registry imports embedders lazily; avoid the cycle here
+    from ..privacy.ledger import PrivacyLedger
     from ..serving.engine import QueryEngine
     from .registry import MethodSpec
 
-__all__ = ["Embedder", "FitResult"]
+__all__ = ["Embedder", "FitResult", "WarmStart"]
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Resolved warm-start state: prior matrices to seed a refit from.
+
+    Built by :meth:`Embedder.fit` from either a saved artifact path or a
+    fitted estimator; consumed by trainers that set
+    ``_supports_warm_start`` (they copy rows ``[0, min(n_new, num_nodes))``
+    into the freshly initialised model, so new nodes keep their pinned
+    fresh init and removed trailing nodes are dropped).
+    """
+
+    embeddings: np.ndarray
+    context_embeddings: np.ndarray | None
+    method: str | None
+    dataset_fingerprint: str | None
+    source: str  # description for metadata: the path or "estimator"
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.embeddings.shape[0])
+
+    @property
+    def embedding_dim(self) -> int:
+        return int(self.embeddings.shape[1])
 
 
 @dataclass
@@ -110,6 +138,11 @@ class Embedder(abc.ABC):
     artifact persistence — lives here once.
     """
 
+    #: trainers that can seed their matrices from a prior artifact set this
+    _supports_warm_start: bool = False
+    #: private trainers that can record into a persistent ledger set this
+    _supports_ledger: bool = False
+
     def __init__(self) -> None:
         self._spec: "MethodSpec | None" = getattr(self, "_spec", None)
         #: non-default build() kwargs, stamped by MethodSpec.build so
@@ -120,27 +153,68 @@ class Embedder(abc.ABC):
         self._result: FitResult | None = None
         self._dataset_fingerprint: str | None = None
         self._proximity_fingerprint: str | None = None
+        #: resolved WarmStart for the fit in flight (trainers consume it)
+        self._pending_warm_start: WarmStart | None = None
+        #: ledger bound to the fit in flight (private trainers consume it)
+        self._active_ledger: "PrivacyLedger | None" = None
+        #: provenance of the last applied warm start (for artifact metadata)
+        self._last_warm_start: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # the estimator surface
     # ------------------------------------------------------------------ #
-    def fit(self, graph: Graph, *, rng=None, **fit_params) -> "Embedder":
+    def fit(
+        self, graph: Graph, *, rng=None, warm_start=None, ledger=None, **fit_params
+    ) -> "Embedder":
         """Train on ``graph`` and return ``self``.
 
         ``rng`` (seed, ``Generator`` or ``SeedSequence``) overrides the
-        seed given at construction for this fit only.  Extra keyword
-        arguments are forwarded to the concrete ``_fit`` (e.g. the SE
-        trainers accept a precomputed ``proximity=`` matrix).
+        seed given at construction for this fit only.  ``warm_start``
+        (a saved artifact path or a fitted estimator) seeds the embedding
+        matrices from a prior fit — rows shared with the old node set are
+        copied, new nodes keep their pinned fresh initialisation.
+        ``ledger`` (a :class:`~repro.privacy.PrivacyLedger`) makes a
+        private fit check admission against, and record its spend into,
+        a durable budget lineage.  Extra keyword arguments are forwarded
+        to the concrete ``_fit`` (e.g. the SE trainers accept a
+        precomputed ``proximity=`` matrix).
         """
         if not isinstance(graph, Graph):
             raise ConfigurationError(
                 f"fit expects a repro.Graph, got {type(graph).__name__}"
             )
+        if warm_start is not None and not self._supports_warm_start:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not support warm_start (only the "
+                "skip-gram trainers seed from prior embeddings)"
+            )
+        if ledger is not None and not self._supports_ledger:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not support a privacy ledger (only "
+                "private trainers with a per-step accountant record into one)"
+            )
+        if ledger is not None:
+            head = ledger.dataset_fingerprint
+            if head is not None and head != graph.content_fingerprint():
+                raise PrivacyError(
+                    f"graph {graph.content_fingerprint()} is not the ledger's "
+                    f"lineage head {head}; record the connecting delta(s) with "
+                    "ledger.record_delta first"
+                )
         generator = ensure_rng(rng) if rng is not None else self._fit_rng()
         self._embeddings = None
         self._context_embeddings = None
         self._result = None
-        result = self._fit(graph, generator, **fit_params)
+        self._last_warm_start = None
+        self._pending_warm_start = (
+            self._resolve_warm_start(warm_start) if warm_start is not None else None
+        )
+        self._active_ledger = ledger
+        try:
+            result = self._fit(graph, generator, **fit_params)
+        finally:
+            self._pending_warm_start = None
+            self._active_ledger = None
         if self._embeddings is None:
             raise TrainingError(
                 f"{type(self).__name__}._fit completed without producing embeddings"
@@ -148,6 +222,54 @@ class Embedder(abc.ABC):
         self._result = result
         self._dataset_fingerprint = graph.content_fingerprint()
         return self
+
+    def _resolve_warm_start(self, source) -> WarmStart:
+        """Normalise a warm-start argument to a :class:`WarmStart`.
+
+        Accepts a saved artifact path (loaded through :meth:`load`, which
+        already rejects spec drift) or a fitted estimator.  The embedding
+        dimension must match this estimator's configuration; a different
+        *method* only warns — cross-method seeding is legitimate (e.g.
+        seeding a private refit from a non-private base fit) but worth
+        flagging.
+        """
+        if isinstance(source, (str, Path)):
+            donor = Embedder.load(source)
+            label = str(source)
+        elif isinstance(source, Embedder):
+            source._check_fitted()
+            source._check_spec_current()
+            donor = source
+            label = "estimator"
+        else:
+            raise ConfigurationError(
+                "warm_start must be a saved artifact path or a fitted Embedder, "
+                f"got {type(source).__name__}"
+            )
+        embeddings = np.asarray(donor._embeddings)
+        context = donor._context_embeddings
+        training = getattr(self, "training_config", None)
+        if training is not None and embeddings.shape[1] != training.embedding_dim:
+            raise ConfigurationError(
+                f"warm-start embeddings have dimension {embeddings.shape[1]} but "
+                f"this estimator is configured for {training.embedding_dim}"
+            )
+        donor_method = donor._spec.name if donor._spec is not None else None
+        own_method = self._spec.name if self._spec is not None else None
+        if donor_method is not None and own_method is not None and donor_method != own_method:
+            warnings.warn(
+                f"warm-starting a {own_method!r} fit from a {donor_method!r} "
+                "artifact; embedding geometries may differ",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return WarmStart(
+            embeddings=embeddings,
+            context_embeddings=np.asarray(context) if context is not None else None,
+            method=donor_method,
+            dataset_fingerprint=donor._dataset_fingerprint,
+            source=label,
+        )
 
     def fit_transform(self, graph: Graph, *, rng=None, **fit_params) -> np.ndarray:
         """:meth:`fit`, then return :attr:`embeddings_` (scikit-learn shape)."""
@@ -257,6 +379,8 @@ class Embedder(abc.ABC):
         privacy = getattr(self, "privacy_config", None)
         if privacy is not None:
             meta["privacy"] = privacy.to_dict()
+        if self._last_warm_start is not None:
+            meta["warm_start"] = dict(self._last_warm_start)
         return meta
 
     def _build_options(self) -> dict[str, Any]:

@@ -10,6 +10,7 @@ from .rdp import (
 )
 from .subsampling import subsampled_rdp
 from .accountant import RdpAccountant, PrivacySpent
+from .ledger import PrivacyLedger, LEDGER_FORMAT, LEDGER_VERSION
 from .moments import MomentsAccountant
 from .sensitivity import (
     batch_gradient_sensitivity,
@@ -29,6 +30,9 @@ __all__ = [
     "subsampled_rdp",
     "RdpAccountant",
     "PrivacySpent",
+    "PrivacyLedger",
+    "LEDGER_FORMAT",
+    "LEDGER_VERSION",
     "MomentsAccountant",
     "batch_gradient_sensitivity",
     "per_example_sensitivity",

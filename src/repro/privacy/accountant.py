@@ -8,6 +8,7 @@ when the target budget would be exceeded so training can stop.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from collections.abc import Sequence
 
@@ -69,6 +70,9 @@ class RdpAccountant:
         )
         self._total_curve = np.zeros_like(self._per_step_curve)
         self._steps = 0
+        #: set by PrivacyLedger.attach — a ledger-bound accountant must
+        #: never forget spent budget (the ledger is the durable record)
+        self._ledger_attached = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -184,7 +188,27 @@ class RdpAccountant:
         return self.epsilon_after(self._steps + 1, delta) > target_epsilon
 
     def reset(self) -> None:
-        """Forget all accounted steps."""
+        """Forget all accounted steps.
+
+        The mechanism invocations already happened — resetting the counter
+        does not un-spend the privacy loss, it only stops *reporting* it.
+        Discarding a non-zero count therefore warns, and an accountant
+        attached to a :class:`~repro.privacy.ledger.PrivacyLedger` refuses
+        outright: the ledger is the durable record of spend and must never
+        diverge from the live accountant underneath it.
+        """
+        if self._ledger_attached:
+            raise PrivacyError(
+                "this accountant is attached to a persistent privacy ledger; "
+                "resetting would discard budget the ledger is recording — refusing"
+            )
+        if self._steps:
+            warnings.warn(
+                f"RdpAccountant.reset() discards {self._steps} accounted steps; "
+                "the privacy loss already incurred does not reset",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._total_curve = np.zeros_like(self._per_step_curve)
         self._steps = 0
 

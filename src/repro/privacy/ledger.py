@@ -1,0 +1,516 @@
+"""Persistent privacy ledger: durable (ε, δ) accounting across a lineage.
+
+The in-process :class:`RdpAccountant` dies with the process, which makes
+"retrain nightly on the updated graph" silently reset ε to zero.  The
+ledger is the durable record: a per-dataset append-only JSON file
+(atomic rewrite per append via :func:`~repro.utils.fileio.atomic_write_path`)
+holding two kinds of entries:
+
+* ``delta`` — the dataset lineage: *old graph fingerprint → new graph
+  fingerprint* through an :class:`~repro.streaming.EdgeDelta` fingerprint.
+  The chain pins exactly which sequence of graphs the spent budget refers
+  to; a fit against a graph that is not the current lineage head is
+  refused (it would be accounting against the wrong neighbouring-database
+  relation).
+* ``fit`` — one private training run: mechanism parameters
+  ``(noise_multiplier, sampling_rate)``, the step count, and the (ε, δ)
+  reported at completion.
+
+Entries are hash-chained (each carries the hash of its predecessor), so a
+truncated, reordered, or edited ledger fails verification at load time.
+
+Composition is exact, not additive-in-ε: the cumulative guarantee is
+recomputed from the raw entries by summing RDP curves on a shared α grid
+— ``total_steps(σ, γ) × per_step_curve(σ, γ)`` per parameter group,
+composed with :func:`~repro.privacy.rdp.compose_rdp` — which makes the
+ledger total over K refits of T steps *bit-identical* to one
+:class:`RdpAccountant` stepped K·T times.  ``would_exceed`` /
+``remaining_steps`` answer the admission question **before** a refit
+spends anything, and :meth:`attach` marks a live accountant as
+ledger-bound so its ``reset()`` (which would fork the record) is refused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import PrivacyBudgetExhausted, PrivacyError
+from ..utils.fileio import atomic_write_path
+from .accountant import PrivacySpent, RdpAccountant
+from .rdp import DEFAULT_ALPHA_GRID, compose_rdp, rdp_to_dp
+from .subsampling import subsampled_gaussian_rdp_curve
+
+__all__ = ["PrivacyLedger", "LEDGER_FORMAT", "LEDGER_VERSION"]
+
+LEDGER_FORMAT = "repro.privacy.ledger"
+LEDGER_VERSION = 1
+
+#: parent pointer of the first entry in a chain
+_GENESIS = "genesis"
+
+
+def _fingerprint_of(dataset: object) -> str:
+    """Resolve a dataset argument to a content fingerprint string.
+
+    Accepts a fingerprint directly or anything with a
+    ``content_fingerprint()`` method (e.g. :class:`repro.Graph` — duck
+    typed so the typed privacy core does not depend on the graph stack).
+    """
+    if isinstance(dataset, str):
+        return dataset
+    method = getattr(dataset, "content_fingerprint", None)
+    if callable(method):
+        return str(method())
+    raise PrivacyError(
+        "dataset must be a fingerprint string or an object with a "
+        f"content_fingerprint() method, got {type(dataset).__name__}"
+    )
+
+
+def _entry_hash(entry: dict[str, Any]) -> str:
+    """Content hash of one entry (excluding its own ``entry_hash`` field)."""
+    payload = {key: value for key, value in entry.items() if key != "entry_hash"}
+    digest = hashlib.sha256()
+    digest.update(b"repro-ledger-entry-v1")
+    digest.update(json.dumps(payload, sort_keys=True, separators=(",", ":")).encode())
+    return digest.hexdigest()[:32]
+
+
+class PrivacyLedger:
+    """Append-only, hash-chained record of privacy spend for one lineage.
+
+    Parameters
+    ----------
+    path:
+        The ledger file.  A missing file is an empty ledger; the file is
+        created on the first append.
+    alphas:
+        Rényi orders of the shared composition grid.  Every accountant
+        attached to (or recorded into) this ledger must use the identical
+        grid — curve addition across grids would be meaningless.
+    """
+
+    def __init__(
+        self, path: str | Path, alphas: Sequence[float] = DEFAULT_ALPHA_GRID
+    ) -> None:
+        self.path = Path(path)
+        self.alphas = np.asarray(list(alphas), dtype=float)
+        if self.alphas.size == 0 or np.any(self.alphas <= 1.0):
+            raise PrivacyError("all alpha orders must be > 1")
+        self._entries: list[dict[str, Any]] = []
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PrivacyError(f"cannot read privacy ledger {self.path}: {exc}") from exc
+        if not isinstance(document, dict) or document.get("format") != LEDGER_FORMAT:
+            raise PrivacyError(
+                f"{self.path} is not a privacy ledger (missing format marker)"
+            )
+        if document.get("version") != LEDGER_VERSION:
+            raise PrivacyError(
+                f"unsupported ledger version {document.get('version')!r} in {self.path}"
+            )
+        entries = document.get("entries")
+        if not isinstance(entries, list):
+            raise PrivacyError(f"malformed ledger {self.path}: entries must be a list")
+        self._entries = self._verify_chain(entries)
+
+    def _verify_chain(self, entries: list[Any]) -> list[dict[str, Any]]:
+        expected_parent = _GENESIS
+        verified: list[dict[str, Any]] = []
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise PrivacyError(
+                    f"malformed ledger {self.path}: entry {position} is not an object"
+                )
+            if entry.get("parent") != expected_parent:
+                raise PrivacyError(
+                    f"broken hash chain in {self.path} at entry {position}: "
+                    f"parent {entry.get('parent')!r} != expected {expected_parent!r} "
+                    "(truncated, reordered, or edited ledger)"
+                )
+            recomputed = _entry_hash(entry)
+            if entry.get("entry_hash") != recomputed:
+                raise PrivacyError(
+                    f"tampered ledger {self.path}: entry {position} hash "
+                    f"{entry.get('entry_hash')!r} does not match its content"
+                )
+            expected_parent = recomputed
+            verified.append(entry)
+        return verified
+
+    def _append(self, entry: dict[str, Any]) -> dict[str, Any]:
+        entry = dict(entry)
+        entry["parent"] = self.head_hash
+        entry["entry_hash"] = _entry_hash(entry)
+        self._entries.append(entry)
+        document = {
+            "format": LEDGER_FORMAT,
+            "version": LEDGER_VERSION,
+            "entries": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with atomic_write_path(self.path) as tmp_path:
+            tmp_path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # chain / lineage state
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> list[dict[str, Any]]:
+        """A copy of all verified entries, oldest first."""
+        return [dict(entry) for entry in self._entries]
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the newest entry (``"genesis"`` for an empty ledger)."""
+        if not self._entries:
+            return _GENESIS
+        return str(self._entries[-1]["entry_hash"])
+
+    @property
+    def dataset_fingerprint(self) -> str | None:
+        """Fingerprint of the current lineage head (``None`` when empty)."""
+        for entry in reversed(self._entries):
+            fingerprint = entry.get("dataset_fingerprint")
+            if fingerprint is not None:
+                return str(fingerprint)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # appends
+    # ------------------------------------------------------------------ #
+    def record_delta(
+        self, old_dataset: object, new_dataset: object, delta: object
+    ) -> dict[str, Any]:
+        """Advance the lineage: ``old_dataset`` evolved into ``new_dataset``.
+
+        ``delta`` may be an :class:`~repro.streaming.EdgeDelta` (its
+        fingerprint and batch sizes are recorded) or a fingerprint string.
+        The old fingerprint must match the current lineage head.
+        """
+        old_fp = _fingerprint_of(old_dataset)
+        new_fp = _fingerprint_of(new_dataset)
+        current = self.dataset_fingerprint
+        if current is not None and old_fp != current:
+            raise PrivacyError(
+                f"lineage break: delta starts from {old_fp} but the ledger head "
+                f"is {current}; record intermediate deltas in order"
+            )
+        entry: dict[str, Any] = {
+            "kind": "delta",
+            "parent_dataset_fingerprint": old_fp,
+            "dataset_fingerprint": new_fp,
+        }
+        if isinstance(delta, str):
+            entry["delta_fingerprint"] = delta
+        else:
+            fingerprint = getattr(delta, "fingerprint", None)
+            if not callable(fingerprint):
+                raise PrivacyError(
+                    "delta must be an EdgeDelta or a fingerprint string, got "
+                    f"{type(delta).__name__}"
+                )
+            entry["delta_fingerprint"] = str(fingerprint())
+            for attribute in ("num_inserts", "num_deletes", "num_nodes"):
+                value = getattr(delta, attribute, None)
+                if value is not None:
+                    entry[attribute] = int(value)
+        return self._append(entry)
+
+    def record_fit(
+        self,
+        dataset: object,
+        *,
+        method: str,
+        noise_multiplier: float,
+        sampling_rate: float,
+        steps: int,
+        delta: float,
+        epsilon: float,
+        target_epsilon: float | None = None,
+    ) -> dict[str, Any]:
+        """Record one completed private fit/refit against the lineage head."""
+        fingerprint = _fingerprint_of(dataset)
+        current = self.dataset_fingerprint
+        if current is not None and fingerprint != current:
+            raise PrivacyError(
+                f"fit against dataset {fingerprint} but the ledger lineage head is "
+                f"{current}; record the connecting delta(s) first"
+            )
+        if noise_multiplier <= 0:
+            raise PrivacyError(
+                f"noise_multiplier must be positive, got {noise_multiplier}"
+            )
+        if not 0 < sampling_rate <= 1:
+            raise PrivacyError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+        if steps < 0:
+            raise PrivacyError(f"steps must be non-negative, got {steps}")
+        if not 0 < delta < 1:
+            raise PrivacyError(f"delta must be in (0, 1), got {delta}")
+        entry: dict[str, Any] = {
+            "kind": "fit",
+            "dataset_fingerprint": fingerprint,
+            "method": str(method),
+            "noise_multiplier": float(noise_multiplier),
+            "sampling_rate": float(sampling_rate),
+            "steps": int(steps),
+            "delta": float(delta),
+            "epsilon": float(epsilon),
+        }
+        if target_epsilon is not None:
+            entry["target_epsilon"] = float(target_epsilon)
+        return self._append(entry)
+
+    def record_accountant(
+        self,
+        dataset: object,
+        accountant: RdpAccountant,
+        *,
+        method: str,
+        delta: float,
+        target_epsilon: float | None = None,
+    ) -> dict[str, Any]:
+        """Record a fit straight from a live accountant's state."""
+        self._check_grid(accountant)
+        spent = accountant.get_privacy_spent(delta)
+        return self.record_fit(
+            dataset,
+            method=method,
+            noise_multiplier=accountant.noise_multiplier,
+            sampling_rate=accountant.sampling_rate,
+            steps=accountant.steps,
+            delta=delta,
+            epsilon=spent.epsilon,
+            target_epsilon=target_epsilon,
+        )
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def _fit_groups(self) -> dict[tuple[float, float], int]:
+        """Total step count per (noise_multiplier, sampling_rate) group."""
+        groups: dict[tuple[float, float], int] = {}
+        for entry in self._entries:
+            if entry.get("kind") != "fit":
+                continue
+            key = (float(entry["noise_multiplier"]), float(entry["sampling_rate"]))
+            groups[key] = groups.get(key, 0) + int(entry["steps"])
+        return groups
+
+    def total_rdp(self) -> np.ndarray:
+        """The composed RDP curve of every recorded fit, on ``self.alphas``.
+
+        Composition is linear in the step count at fixed mechanism
+        parameters, so each parameter group contributes
+        ``total_steps × per_step_curve`` — exactly the multiplicative form
+        :meth:`RdpAccountant.step` maintains, which is what makes ledger
+        totals bit-identical to a single long-lived accountant.
+        """
+        groups = self._fit_groups()
+        curves = [
+            steps * subsampled_gaussian_rdp_curve(nm, rate, self.alphas)
+            for (nm, rate), steps in sorted(groups.items())
+            if steps > 0
+        ]
+        if not curves:
+            return np.zeros_like(self.alphas)
+        return compose_rdp(curves)
+
+    def total_steps(self) -> int:
+        """Total recorded private steps across all fits."""
+        return sum(self._fit_groups().values())
+
+    def total_spent(self, delta: float | None = None) -> PrivacySpent:
+        """Cumulative (ε, δ) over the whole ledger.
+
+        ``delta`` defaults to the δ of the most recent fit entry; a ledger
+        with no fits reports ε = 0.
+        """
+        if delta is None:
+            delta = self._default_delta()
+        steps = self.total_steps()
+        if steps == 0:
+            target = float(delta) if delta is not None else float("nan")
+            return PrivacySpent(epsilon=0.0, delta=target, best_alpha=float("nan"), steps=0)
+        if delta is None:
+            raise PrivacyError("delta is required: the ledger has no fit to take it from")
+        epsilon, best_alpha = rdp_to_dp(self.total_rdp(), self.alphas, delta)
+        return PrivacySpent(
+            epsilon=epsilon, delta=float(delta), best_alpha=best_alpha, steps=steps
+        )
+
+    def _default_delta(self) -> float | None:
+        for entry in reversed(self._entries):
+            if entry.get("kind") == "fit":
+                return float(entry["delta"])
+        return None
+
+    # ------------------------------------------------------------------ #
+    # admission control
+    # ------------------------------------------------------------------ #
+    def epsilon_with(
+        self,
+        delta: float,
+        *,
+        noise_multiplier: float,
+        sampling_rate: float,
+        steps: int,
+    ) -> float:
+        """ε if ``steps`` more steps of the given mechanism were recorded."""
+        if steps < 0:
+            raise PrivacyError(f"steps must be non-negative, got {steps}")
+        curve = self.total_rdp()
+        if steps > 0:
+            curve = curve + steps * subsampled_gaussian_rdp_curve(
+                noise_multiplier, sampling_rate, self.alphas
+            )
+        if not curve.any():
+            return 0.0
+        epsilon, _ = rdp_to_dp(curve, self.alphas, delta)
+        return epsilon
+
+    def would_exceed(
+        self,
+        target_epsilon: float,
+        delta: float,
+        *,
+        noise_multiplier: float,
+        sampling_rate: float,
+        steps: int = 1,
+    ) -> bool:
+        """``True`` if recording ``steps`` more steps would break the target ε."""
+        projected = self.epsilon_with(
+            delta,
+            noise_multiplier=noise_multiplier,
+            sampling_rate=sampling_rate,
+            steps=steps,
+        )
+        return projected > target_epsilon
+
+    def remaining_steps(
+        self,
+        target_epsilon: float,
+        delta: float,
+        *,
+        noise_multiplier: float,
+        sampling_rate: float,
+        limit: int = 1_000_000,
+    ) -> int:
+        """Largest additional step count that keeps cumulative ε ≤ target."""
+        if target_epsilon <= 0:
+            raise PrivacyError(f"target_epsilon must be positive, got {target_epsilon}")
+
+        def fits(steps: int) -> bool:
+            return (
+                self.epsilon_with(
+                    delta,
+                    noise_multiplier=noise_multiplier,
+                    sampling_rate=sampling_rate,
+                    steps=steps,
+                )
+                <= target_epsilon
+            )
+
+        if not fits(1):
+            return 0
+        lo, hi = 1, 1
+        while hi < limit and fits(hi):
+            lo, hi = hi, hi * 2
+        hi = min(hi, limit)
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if fits(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def check_admission(
+        self,
+        target_epsilon: float,
+        delta: float,
+        *,
+        noise_multiplier: float,
+        sampling_rate: float,
+    ) -> int:
+        """Refuse (raise) a refit whose very first step would break the budget.
+
+        Returns the admissible step count when the refit may proceed.
+        """
+        remaining = self.remaining_steps(
+            target_epsilon,
+            delta,
+            noise_multiplier=noise_multiplier,
+            sampling_rate=sampling_rate,
+        )
+        if remaining == 0:
+            spent = self.total_spent(delta)
+            raise PrivacyBudgetExhausted(
+                f"privacy ledger {self.path.name} refuses the refit: cumulative "
+                f"spend is already {spent} and one more step at "
+                f"σ={noise_multiplier}, γ={sampling_rate:.4g} would exceed "
+                f"ε={target_epsilon}"
+            )
+        return remaining
+
+    # ------------------------------------------------------------------ #
+    # live accountant binding
+    # ------------------------------------------------------------------ #
+    def _check_grid(self, accountant: RdpAccountant) -> None:
+        if not np.array_equal(accountant.alphas, self.alphas):
+            raise PrivacyError(
+                "accountant alpha grid differs from the ledger's; RDP curves on "
+                "different grids cannot be composed"
+            )
+
+    def attach(self, accountant: RdpAccountant) -> None:
+        """Bind a live accountant to this ledger.
+
+        An attached accountant refuses ``reset()``: the ledger is the
+        durable record and a mid-lineage reset would fork it.
+        """
+        self._check_grid(accountant)
+        accountant._ledger_attached = True
+
+    # ------------------------------------------------------------------ #
+    def summary(self, delta: float | None = None) -> dict[str, Any]:
+        """Human/CLI-facing digest of the ledger state."""
+        fits = [entry for entry in self._entries if entry.get("kind") == "fit"]
+        deltas = [entry for entry in self._entries if entry.get("kind") == "delta"]
+        spent = self.total_spent(delta)
+        return {
+            "path": str(self.path),
+            "entries": len(self._entries),
+            "fits": len(fits),
+            "deltas": len(deltas),
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "head_hash": self.head_hash,
+            "total_steps": spent.steps,
+            "epsilon": spent.epsilon,
+            "delta": spent.delta,
+            "best_alpha": spent.best_alpha,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyLedger(path={str(self.path)!r}, entries={len(self._entries)}, "
+            f"head={self.head_hash[:12]})"
+        )

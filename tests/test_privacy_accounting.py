@@ -158,7 +158,8 @@ class TestRdpAccountant:
         limit = acc.max_steps(0.5, 1e-5)
         acc.step(limit)
         assert acc.would_exceed(0.5, 1e-5)
-        acc.reset()
+        with pytest.warns(RuntimeWarning, match="discards"):
+            acc.reset()
         assert acc.steps == 0
         assert not acc.would_exceed(0.5, 1e-5) or limit == 0
 
