@@ -46,7 +46,7 @@ from ..engine import (
     TrainingEngine,
     resolve_compute_dtype,
 )
-from ..exceptions import TrainingError
+from ..exceptions import HogwildDegradedError, TrainingError
 from ..graph import Graph
 from ..graph.sampling import (
     ProximityNegativeSampler,
@@ -56,6 +56,7 @@ from ..graph.sampling import (
 from ..models.base import FitResult
 from ..privacy.accountant import PrivacySpent, RdpAccountant
 from ..proximity.base import ProximityMatrix, ProximityMeasure
+from ..robustness.checkpoint import SupervisorPolicy
 from ..utils.logging import get_logger
 from ..utils.rng import ensure_rng
 from .objectives import StructurePreferenceObjective
@@ -188,6 +189,7 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         fast_path: bool = False,
         compute_dtype="float64",
         workers: int = 1,
+        hogwild_resilience: SupervisorPolicy | None = None,
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -232,6 +234,7 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
         self.fast_path = bool(fast_path)
         self.compute_dtype = resolve_compute_dtype(compute_dtype)
         self.workers = self._validate_workers(workers)
+        self.hogwild_resilience = hogwild_resilience
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.accountant: RdpAccountant | None = None
@@ -457,13 +460,36 @@ class SEPrivGEmbTrainer(SkipGramTrainerBase):
                 epochs_run=0,
                 stopped_early=True,
             )
-        result = self._run_hogwild(
-            total,
-            iterate_averaging=self.iterate_averaging,
-            stopped_early=total < int(epochs),
-        )
+        try:
+            result = self._run_hogwild(
+                total,
+                iterate_averaging=self.iterate_averaging,
+                stopped_early=total < int(epochs),
+            )
+        except HogwildDegradedError as exc:
+            # Every incarnation — including the lost ones — already released
+            # its noise; charge the conservative counts before the failure
+            # propagates, and make the charge durable if a ledger is
+            # attached.  Over-counting is privacy-safe; under-counting never.
+            if exc.charged_steps:
+                self.accountant.step_shards(exc.charged_steps)
+                ledger = self._active_ledger
+                if ledger is not None:
+                    ledger.record_accountant(
+                        self.graph,
+                        self.accountant,
+                        method=self._spec.name
+                        if self._spec is not None
+                        else type(self).__name__,
+                        delta=self.privacy_config.delta,
+                        target_epsilon=self.privacy_config.epsilon,
+                    )
+            raise
+        run = self.last_hogwild_run
         self.accountant.step_shards(
-            [report.steps for report in self.last_worker_reports]
+            run.accountant_steps
+            if run is not None
+            else [report.steps for report in self.last_worker_reports]
         )
         return result
 

@@ -34,6 +34,7 @@ from ..config import TrainingConfig
 from ..engine import (
     DirectSparseUpdate,
     EngineResult,
+    HogwildRun,
     LossLoggingHook,
     StepWorkspace,
     SubgraphBatch,
@@ -43,6 +44,7 @@ from ..engine import (
     run_hogwild,
 )
 from ..exceptions import TrainingError
+from ..robustness.checkpoint import SupervisorPolicy
 from ..graph import Graph
 from ..graph.sampling import (
     EdgeSubgraph,
@@ -127,6 +129,12 @@ class SkipGramTrainerBase(Embedder):
     trace_hogwild_memory: bool = False
     #: per-worker reports of the most recent hogwild fit
     last_worker_reports: "list[WorkerReport] | None" = None
+    #: opt-in crash supervision for the hogwild pool (checkpoints + restarts);
+    #: ``None`` keeps the historical all-or-nothing failure semantics
+    hogwild_resilience: "SupervisorPolicy | None" = None
+    #: full :class:`~repro.engine.hogwild.HogwildRun` of the most recent
+    #: hogwild fit (conservative ``charged_steps``, restart count)
+    last_hogwild_run: "HogwildRun | None" = None
 
     @staticmethod
     def _validate_workers(workers: int) -> int:
@@ -330,10 +338,12 @@ class SkipGramTrainerBase(Embedder):
                 seed=self._rng,
                 iterate_averaging=iterate_averaging,
                 trace_memory=self.trace_hogwild_memory,
+                supervision=self.hogwild_resilience,
             )
         finally:
             self.model.release()
         self.last_worker_reports = run.reports
+        self.last_hogwild_run = run
         result = run.result
         if stopped_early:
             result = _dc_replace(result, stopped_early=True)
@@ -426,6 +436,14 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         results are reproducible in distribution only (racy lock-free
         updates).  Falls back to serial with a warning where ``fork`` is
         unavailable.
+    hogwild_resilience:
+        Optional :class:`~repro.robustness.SupervisorPolicy`.  When set
+        (and ``workers > 1``), the hogwild pool runs under crash
+        supervision: periodic per-shard checkpoints, automatic restart of
+        dead or stalled workers with exponential backoff, and — only after
+        a shard exhausts its restart budget — degradation to a
+        partial-result :class:`~repro.exceptions.HogwildDegradedError`.
+        ``None`` (default) keeps the historical all-or-nothing semantics.
 
     Passing the graph as the first constructor argument (the pre-estimator
     convention, followed by ``train()``) is still supported but deprecated.
@@ -445,6 +463,7 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         fast_path: bool = False,
         compute_dtype="float64",
         workers: int = 1,
+        hogwild_resilience: SupervisorPolicy | None = None,
     ) -> None:
         super().__init__()
         graph, values = self._resolve_init_args(
@@ -476,6 +495,7 @@ class SEGEmbTrainer(SkipGramTrainerBase):
         self.fast_path = bool(fast_path)
         self.compute_dtype = resolve_compute_dtype(compute_dtype)
         self.workers = self._validate_workers(workers)
+        self.hogwild_resilience = hogwild_resilience
         self.graph: Graph | None = None
         self.engine: TrainingEngine | None = None
         self.proximity_matrix: ProximityMatrix | None = None

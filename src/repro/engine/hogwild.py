@@ -23,6 +23,22 @@ than corruption (Niu et al., 2011).  This module provides the pool:
   and (opt-in) tracemalloc evidence come back over a pipe and are merged
   into one :class:`~repro.engine.core.EngineResult`.
 
+Supervision (PR 10): with a
+:class:`~repro.robustness.checkpoint.SupervisorPolicy` the parent runs a
+supervisor loop instead of a fire-and-collect pass.  Workers periodically
+checkpoint ``(steps, rng state, losses)`` per shard; a dead or stalled
+worker is restarted from its last checkpoint — the trained weights live in
+the parent's shared pages and survive the worker — up to ``max_restarts``
+times with exponential backoff, after which the run degrades to a
+partial-result :class:`~repro.exceptions.HogwildDegradedError` naming the
+recovered and lost shards.  Privacy accounting stays conservative
+throughout: every incarnation that dies is charged its *full remaining
+step allotment* (``target − resume offset``), so the composed charge can
+over-count mechanism invocations but can never under-count them — noise a
+crashed worker already released stays paid for.  Without supervision the
+behaviour is the historical one (any worker failure fails the run), just
+expressed as ``max_restarts=0`` through the same loop.
+
 Like the rest of the engine, this module is duck-typed and imports nothing
 from the embedding package: it needs a model with ``w_in`` / ``w_out`` /
 ``embeddings()`` whose arrays are fork-shared, and a factory returning a
@@ -31,23 +47,33 @@ from the embedding package: it needs a model with ``w_in`` / ``w_out`` /
 What is and is not deterministic: the *set* of batches each shard samples
 and the noise each shard draws are fixed by the spawned seeds, but the
 interleaving of the racy parameter writes is scheduler-dependent, so
-multi-worker results are reproducible only in distribution.  ``workers=1``
-never enters this module — trainers keep the exact serial path for it.
+multi-worker results are reproducible only in distribution.  A restarted
+incarnation continues a *deterministic* stream (the checkpointed
+``bit_generator.state``), but not a bit-replay of the lost steps — the
+same in-distribution guarantee.  ``workers=1`` never enters the pool —
+trainers keep the exact serial path for it.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
+import time
 import tracemalloc
 import weakref
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any
 
 import numpy as np
 
-from ..exceptions import TrainingError
+from ..exceptions import HogwildDegradedError, TrainingError
+from ..robustness.checkpoint import CheckpointStore, ShardCheckpoint, SupervisorPolicy
+from ..robustness.faults import FaultPlan, get_active_plan
 from ..utils import mp as _mp
 from ..utils.logging import get_logger
 from .core import EngineResult, TrainingEngine
@@ -94,6 +120,12 @@ class WorkerReport:
     traced_bytes: int = -1
     traced_steps: int = 0
     pid: int = 0
+    #: which incarnation of the shard produced this report (0 = never restarted)
+    incarnation: int = 0
+    #: steps this incarnation actually accumulated into the iterate average
+    #: (< ``steps`` after a restart: checkpointed steps are counted in
+    #: ``steps`` but their iterates died with the crashed incarnation)
+    averaged_steps: int = 0
 
 
 @dataclass
@@ -102,11 +134,25 @@ class HogwildRun:
 
     result: EngineResult
     reports: list[WorkerReport] = field(default_factory=list)
+    #: conservative per-shard privacy charges, aligned with ``reports`` —
+    #: equals ``shard_steps`` for a crash-free run, strictly larger when a
+    #: shard crashed (every dead incarnation is charged its full remaining
+    #: allotment; over-counting is privacy-safe, under-counting never is)
+    charged_steps: list[int] = field(default_factory=list)
+    #: worker restarts performed by the supervisor during this run
+    restarts: int = 0
 
     @property
     def shard_steps(self) -> list[int]:
-        """Steps actually run per shard (what the accountant composes over)."""
+        """Steps actually recorded per shard (losses / epochs bookkeeping)."""
         return [report.steps for report in self.reports]
+
+    @property
+    def accountant_steps(self) -> list[int]:
+        """What the privacy accountant must compose over: the charged counts."""
+        if self.charged_steps:
+            return list(self.charged_steps)
+        return self.shard_steps
 
 
 class _IterateSumHook(EngineHook):
@@ -115,7 +161,7 @@ class _IterateSumHook(EngineHook):
     Unlike :class:`~repro.engine.hooks.IterateAveragingHook` it neither
     resets on ``on_train_start`` (a traced worker runs the engine twice)
     nor replaces the result — the parent pools the raw sums from all
-    workers and divides by the global step count once.
+    workers and divides by the pooled step count once.
     """
 
     def __init__(self) -> None:
@@ -131,6 +177,68 @@ class _IterateSumHook(EngineHook):
         else:
             self.sum_w_in += engine.model.w_in
             self.sum_w_out += engine.model.w_out
+
+
+class _FaultHook(EngineHook):
+    """Cross the ``hogwild.worker.step`` fault point before every step.
+
+    Installed only when a :class:`~repro.robustness.faults.FaultPlan` is
+    active (the profiler idiom: the default path carries no hook at all,
+    so it stays bit-identical).  ``step`` is the shard-local global step
+    index about to run — resume offsets included, so ``step=k`` means the
+    same training position whether or not the shard was restarted.
+    """
+
+    def __init__(self, plan: FaultPlan, shard: int, incarnation: int, offset: int) -> None:
+        self._plan = plan
+        self._shard = shard
+        self._incarnation = incarnation
+        self._next_step = offset
+
+    def before_step(self, engine: "TrainingEngine", epoch: int) -> bool:
+        self._plan.hit(
+            "hogwild.worker.step",
+            shard=self._shard,
+            step=self._next_step,
+            incarnation=self._incarnation,
+        )
+        self._next_step += 1
+        return True
+
+
+class _CheckpointHook(EngineHook):
+    """Atomically checkpoint the shard every ``every`` completed steps."""
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        task: "_ShardTask",
+        rng: np.random.Generator,
+        every: int,
+    ) -> None:
+        self._store = store
+        self._shard = task.shard
+        self._incarnation = task.incarnation
+        self._base_steps = task.resume_at
+        self._losses = list(task.base_losses)
+        self._rng = rng
+        self._every = every
+        self._count = 0
+
+    def after_step(self, engine: "TrainingEngine", epoch: int, loss: float) -> None:
+        self._count += 1
+        self._losses.append(float(loss))
+        total = self._base_steps + self._count
+        if total % self._every == 0:
+            self._store.save(
+                ShardCheckpoint(
+                    shard=self._shard,
+                    steps=total,
+                    incarnation=self._incarnation,
+                    rng_state=self._rng.bit_generator.state,
+                    losses=self._losses,
+                )
+            )
 
 
 def _release_blocks(
@@ -162,9 +270,9 @@ class _SharedAccumulator:
 
     Workers add their local sums under ``lock`` once at shard end (two
     adds per worker per run, not per step), the parent divides by the
-    total step count.  The parent creates, owns and unlinks the blocks;
-    a pid-guarded ``weakref.finalize`` backstop releases them at garbage
-    collection if :meth:`destroy` was never reached.
+    total accumulated step count.  The parent creates, owns and unlinks
+    the blocks; a pid-guarded ``weakref.finalize`` backstop releases them
+    at garbage collection if :meth:`destroy` was never reached.
     """
 
     def __init__(self, shape: tuple[int, int]) -> None:
@@ -233,24 +341,55 @@ class _TraceMemoryHook(EngineHook):
         self.samples += 1
 
 
+@dataclass
+class _ShardTask:
+    """Everything one worker incarnation needs to run (picklable)."""
+
+    shard: int
+    #: the shard's *total* step target across all incarnations
+    target: int
+    #: steps a previous incarnation already completed (checkpoint floor)
+    resume_at: int = 0
+    incarnation: int = 0
+    #: checkpointed ``bit_generator.state`` to continue from (None = seed)
+    rng_state: dict[str, Any] | None = None
+    #: cumulative loss trace up to ``resume_at``
+    base_losses: list[float] = field(default_factory=list)
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+
+
 def _run_shard(
     engine_factory: Callable[[np.random.Generator], TrainingEngine],
     seed: np.random.SeedSequence,
-    steps: int,
+    task: _ShardTask,
     iterate_averaging: bool,
     trace_memory: bool,
-    shard: int,
 ) -> tuple[WorkerReport, _IterateSumHook | None]:
-    """Run one shard's steps in the current process; shared by pool and inline."""
-    rng = np.random.default_rng(seed)
+    """Run one shard incarnation in the current process; pool and inline share it."""
+    if task.rng_state is not None:
+        rng = np.random.default_rng()  # repro-lint: disable=RNG001 -- placeholder generator; the very next line overwrites its state with the checkpointed bit_generator state, which carries the original seeding
+        rng.bit_generator.state = task.rng_state
+    else:
+        rng = np.random.default_rng(seed)
     engine = engine_factory(rng)
     profiler = StepProfiler()
     averager = _IterateSumHook() if iterate_averaging else None
     extra_hooks: list[EngineHook] = [profiler]
     if averager is not None:
         extra_hooks.append(averager)
+    plan = get_active_plan()
+    if plan is not None:  # the single opt-in branch; no hook on the default path
+        extra_hooks.append(_FaultHook(plan, task.shard, task.incarnation, task.resume_at))
+    if task.checkpoint_dir is not None and task.checkpoint_every > 0:
+        extra_hooks.append(
+            _CheckpointHook(
+                CheckpointStore(task.checkpoint_dir), task, rng, task.checkpoint_every
+            )
+        )
     engine.hooks = tuple(engine.hooks) + tuple(extra_hooks)
 
+    steps = task.target - task.resume_at
     losses: list[float] = []
     profiles: list[StepProfile] = []
     traced_bytes = -1
@@ -276,13 +415,15 @@ def _run_shard(
     profile = StepProfile.merge([p for p in profiles if p is not None])
     profile.workers = 1  # a traced shard merges its own warmup+measured runs
     report = WorkerReport(
-        shard=shard,
-        steps=len(losses),
-        losses=losses,
+        shard=task.shard,
+        steps=task.resume_at + len(losses),
+        losses=list(task.base_losses) + losses,
         profile=profile,
         traced_bytes=traced_bytes,
         traced_steps=traced_steps,
         pid=os.getpid(),
+        incarnation=task.incarnation,
+        averaged_steps=averager.steps if averager is not None else 0,
     )
     return report, averager
 
@@ -290,10 +431,9 @@ def _run_shard(
 def _worker_entry(
     engine_factory,
     seed,
-    steps,
+    task,
     iterate_averaging,
     trace_memory,
-    shard,
     accumulator,
     lock,
     conn,
@@ -301,7 +441,7 @@ def _worker_entry(
     """Forked worker body: run the shard, pool iterate sums, report back."""
     try:
         report, averager = _run_shard(
-            engine_factory, seed, steps, iterate_averaging, trace_memory, shard
+            engine_factory, seed, task, iterate_averaging, trace_memory
         )
         if averager is not None and averager.steps > 0:
             with lock:
@@ -332,6 +472,68 @@ def _interleave_losses(per_shard: Sequence[Sequence[float]]) -> list[float]:
     return merged
 
 
+class _ShardState:
+    """Supervisor-side lifecycle of one shard across incarnations."""
+
+    def __init__(
+        self,
+        shard: int,
+        target: int,
+        seed: np.random.SeedSequence,
+        max_restarts: int,
+        backoff: float,
+    ) -> None:
+        self.shard = shard
+        self.target = target
+        self.seed = seed
+        self.resume_at = 0
+        self.incarnation = 0
+        self.rng_state: dict[str, Any] | None = None
+        self.base_losses: list[float] = []
+        self.charged = 0
+        self.restarts_left = max_restarts
+        self.backoff = backoff
+        self.process = None
+        self.conn = None
+        self.launch_resume = 0
+        self.started_at = 0.0
+        self.restart_at = 0.0
+        self.report: WorkerReport | None = None
+        self.failure: str | None = None
+
+
+def _merge_run(
+    model,
+    reports: list[WorkerReport],
+    accumulator: "_SharedAccumulator | None",
+    iterate_averaging: bool,
+    charged: list[int],
+    restarts: int,
+) -> HogwildRun:
+    """Fold worker reports + the shared pages into one :class:`HogwildRun`."""
+    total_run = sum(report.steps for report in reports)
+    averaged = sum(report.averaged_steps for report in reports)
+    if iterate_averaging and accumulator is not None and averaged > 0:
+        embeddings = (accumulator.sum_w_in / averaged).astype(
+            model.w_in.dtype, copy=False
+        )
+        context = (accumulator.sum_w_out / averaged).astype(
+            model.w_out.dtype, copy=False
+        )
+    else:
+        embeddings, context = model.embeddings(), model.w_out.copy()
+    result = EngineResult(
+        embeddings=embeddings,
+        context_embeddings=context,
+        losses=_interleave_losses([report.losses for report in reports]),
+        epochs_run=total_run,
+        profile=StepProfile.merge([report.profile for report in reports]),
+    )
+    return HogwildRun(
+        result=result, reports=reports, charged_steps=charged, restarts=restarts
+    )
+
+
 def run_hogwild(
     *,
     model,
@@ -341,6 +543,7 @@ def run_hogwild(
     seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     iterate_averaging: bool = False,
     trace_memory: bool = False,
+    supervision: SupervisorPolicy | None = None,
 ) -> HogwildRun:
     """Run ``total_steps`` engine steps sharded over forked hogwild workers.
 
@@ -356,9 +559,10 @@ def run_hogwild(
         worker, so it may close over arbitrarily large parent state
         (subgraph pools, objectives) at zero copy cost.
     total_steps:
-        Combined number of steps across all shards (the privacy-relevant
-        count — compose it with
-        :meth:`~repro.privacy.accountant.RdpAccountant.step_shards`).
+        Combined number of steps across all shards.  The privacy-relevant
+        count is the run's :attr:`HogwildRun.accountant_steps` — equal to
+        the per-shard step counts for a crash-free run, conservatively
+        larger when the supervisor had to restart shards.
     workers:
         Requested pool size; degraded to serial-in-process with a warning
         when ``fork`` is unavailable.
@@ -370,6 +574,19 @@ def run_hogwild(
     trace_memory:
         Have every worker measure its steady-state allocation growth with
         ``tracemalloc`` (reported per worker, not enabled in the parent).
+    supervision:
+        ``None`` (default) keeps the historical all-or-nothing semantics:
+        any worker failure raises a :class:`TrainingError` once every
+        shard has been collected.  A
+        :class:`~repro.robustness.checkpoint.SupervisorPolicy` turns on
+        crash supervision: periodic per-shard checkpoints, restart with
+        exponential backoff up to ``max_restarts`` per shard, stall
+        detection via ``worker_timeout``, and a degradation to
+        :class:`~repro.exceptions.HogwildDegradedError` (carrying the
+        conservative per-shard charges and the partial result) when a
+        shard exhausts its restart budget.  Supervision applies to the
+        forked pool only — the inline single-shard path cannot outlive
+        its own crash.
     """
     if total_steps < 1:
         raise TrainingError(f"total_steps must be positive, got {total_steps}")
@@ -385,7 +602,11 @@ def run_hogwild(
     if len(shards) == 1:
         # fork unavailable or a single-step run: same machinery, no pool
         report, averager = _run_shard(
-            engine_factory, seeds[0], shards[0], iterate_averaging, trace_memory, 0
+            engine_factory,
+            seeds[0],
+            _ShardTask(shard=0, target=shards[0]),
+            iterate_averaging,
+            trace_memory,
         )
         reports = [report]
         if averager is not None and averager.steps > 0:
@@ -406,89 +627,233 @@ def run_hogwild(
                 profile=report.profile,
             ),
             reports=reports,
+            charged_steps=[report.steps],
         )
 
+    policy = supervision if supervision is not None else SupervisorPolicy(
+        max_restarts=0, checkpoint_every=0, worker_timeout=None
+    )
     ctx = get_context("fork")
     lock = ctx.Lock()
     accumulator = (
         _SharedAccumulator(model.w_in.shape) if iterate_averaging else None
     )
-    processes = []
-    try:
-        for shard, (steps, shard_seed) in enumerate(zip(shards, seeds, strict=True)):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_worker_entry,
-                args=(
-                    engine_factory,
-                    shard_seed,
-                    steps,
-                    iterate_averaging,
-                    trace_memory,
-                    shard,
-                    accumulator,
-                    lock,
-                    child_conn,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            processes.append((process, parent_conn))
-
-        reports = []
-        failures: list[str] = []
-        for shard, (process, conn) in enumerate(processes):
-            # receive before join: a large report must not deadlock the pipe
-            try:
-                status, payload = conn.recv()
-            except EOFError:
-                status, payload = "crashed", None
-            finally:
-                conn.close()
-            process.join()
-            if status == "ok":
-                reports.append(payload)
-            elif status == "error":
-                failures.append(f"shard {shard}: {payload}")
-            else:
-                failures.append(
-                    f"shard {shard}: worker pid={process.pid} died with "
-                    f"exit code {process.exitcode}"
-                )
-        if failures:
-            raise TrainingError(
-                "hogwild worker failure — " + "; ".join(failures)
-            )
-
-        total_run = sum(report.steps for report in reports)
-        if iterate_averaging and total_run > 0:
-            embeddings = (accumulator.sum_w_in / total_run).astype(
-                model.w_in.dtype, copy=False
-            )
-            context = (accumulator.sum_w_out / total_run).astype(
-                model.w_out.dtype, copy=False
-            )
+    states = [
+        _ShardState(shard, steps, shard_seed, policy.max_restarts, policy.backoff_base)
+        for shard, (steps, shard_seed) in enumerate(zip(shards, seeds, strict=True))
+    ]
+    store: CheckpointStore | None = None
+    temp_ckpt_dir: str | None = None
+    if supervision is not None and policy.checkpoint_every > 0:
+        if policy.checkpoint_dir is None:
+            temp_ckpt_dir = tempfile.mkdtemp(prefix="repro_ckpt_")
+            store = CheckpointStore(temp_ckpt_dir)
         else:
-            embeddings, context = model.embeddings(), model.w_out.copy()
-        result = EngineResult(
-            embeddings=embeddings,
-            context_embeddings=context,
-            losses=_interleave_losses([report.losses for report in reports]),
-            epochs_run=total_run,
-            profile=StepProfile.merge([report.profile for report in reports]),
+            store = CheckpointStore(policy.checkpoint_dir)
+        # checkpoints are intra-run recovery only: stale files from an
+        # earlier run must never be mistaken for this run's progress
+        store.clear()
+    restarts_total = 0
+
+    def _launch(state: _ShardState) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        task = _ShardTask(
+            shard=state.shard,
+            target=state.target,
+            resume_at=state.resume_at,
+            incarnation=state.incarnation,
+            rng_state=state.rng_state,
+            base_losses=state.base_losses,
+            checkpoint_dir=str(store.directory) if store is not None else None,
+            checkpoint_every=policy.checkpoint_every if store is not None else 0,
+        )
+        # restarts draw a fresh spawned stream unless a checkpointed
+        # bit_generator state pins the continuation exactly
+        launch_seed = state.seed if state.incarnation == 0 else state.seed.spawn(1)[0]
+        process = ctx.Process(
+            target=_worker_entry,
+            args=(
+                engine_factory,
+                launch_seed,
+                task,
+                iterate_averaging,
+                trace_memory,
+                accumulator,
+                lock,
+                child_conn,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        state.process = process
+        state.conn = parent_conn
+        state.launch_resume = state.resume_at
+        state.started_at = time.monotonic()
+
+    def _on_failure(state: _ShardState, message: str, now: float) -> None:
+        nonlocal restarts_total
+        # conservative charge: the dead incarnation may have run any number
+        # of steps up to its full remaining allotment — charge all of it
+        state.charged += state.target - state.launch_resume
+        if store is not None:
+            checkpoint = store.load(state.shard)
+            if (
+                checkpoint is not None
+                and checkpoint.shard == state.shard
+                and state.resume_at < checkpoint.steps <= state.target
+            ):
+                state.resume_at = checkpoint.steps
+                state.rng_state = checkpoint.rng_state
+                state.base_losses = list(checkpoint.losses)
+        if state.restarts_left <= 0:
+            state.failure = message
+            _LOGGER.warning(
+                "hogwild shard %d lost (%s); restart budget exhausted",
+                state.shard,
+                message,
+            )
+            return
+        state.restarts_left -= 1
+        restarts_total += 1
+        state.incarnation += 1
+        if state.resume_at >= state.target:
+            # the last checkpoint already covers the full target: nothing
+            # left to run, synthesize the completed report from it
+            state.report = WorkerReport(
+                shard=state.shard,
+                steps=state.target,
+                losses=list(state.base_losses),
+                profile=StepProfile(),
+                incarnation=state.incarnation,
+            )
+            return
+        state.restart_at = now + state.backoff
+        state.backoff = min(max(state.backoff, policy.backoff_base) * 2, policy.backoff_max)
+        _LOGGER.warning(
+            "hogwild shard %d failed (%s); restarting incarnation %d from step %d",
+            state.shard,
+            message,
+            state.incarnation,
+            state.resume_at,
+        )
+        scheduled.append(state)
+
+    live: dict[Any, _ShardState] = {}
+    scheduled: list[_ShardState] = []
+    try:
+        for state in states:
+            _launch(state)
+            live[state.conn] = state
+
+        while live or scheduled:
+            now = time.monotonic()
+            for state in [s for s in scheduled if s.restart_at <= now]:
+                scheduled.remove(state)
+                _launch(state)
+                live[state.conn] = state
+            if not live:
+                next_start = min(state.restart_at for state in scheduled)
+                time.sleep(max(0.0, next_start - time.monotonic()))
+                continue
+            timeout: float | None = None
+            if scheduled:
+                timeout = max(0.0, min(s.restart_at for s in scheduled) - now)
+            if policy.worker_timeout is not None:
+                stall_deadline = min(
+                    state.started_at + policy.worker_timeout
+                    for state in live.values()
+                )
+                stall_wait = max(0.0, stall_deadline - now)
+                timeout = stall_wait if timeout is None else min(timeout, stall_wait)
+            ready = _conn_wait(list(live), timeout=timeout)
+            now = time.monotonic()
+            for conn in ready:
+                state = live.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "died", None
+                conn.close()
+                state.process.join()
+                if status == "ok":
+                    state.report = payload
+                    state.charged += int(payload.steps) - state.launch_resume
+                elif status == "error":
+                    _on_failure(state, str(payload), now)
+                else:
+                    _on_failure(
+                        state,
+                        f"worker pid={state.process.pid} died with exit code "
+                        f"{state.process.exitcode}",
+                        now,
+                    )
+            if policy.worker_timeout is not None:
+                for conn, state in list(live.items()):
+                    if now - state.started_at > policy.worker_timeout:
+                        live.pop(conn)
+                        state.process.terminate()
+                        state.process.join()
+                        conn.close()
+                        _on_failure(
+                            state,
+                            f"worker pid={state.process.pid} stalled past "
+                            f"worker_timeout={policy.worker_timeout}s and was killed",
+                            now,
+                        )
+
+        lost = sorted(
+            (state for state in states if state.failure is not None),
+            key=lambda state: state.shard,
+        )
+        done = sorted(
+            (state for state in states if state.report is not None),
+            key=lambda state: state.shard,
+        )
+        charged = [state.charged for state in sorted(states, key=lambda s: s.shard)]
+        reports = [state.report for state in done]
+        if lost:
+            recovered_ids = [state.shard for state in done]
+            lost_ids = [state.shard for state in lost]
+            partial = (
+                _merge_run(
+                    model, reports, accumulator, iterate_averaging,
+                    charged, restarts_total,
+                )
+                if reports
+                else None
+            )
+            detail = "; ".join(
+                f"shard {state.shard}: {state.failure}" for state in lost
+            )
+            raise HogwildDegradedError(
+                f"hogwild worker failure — {detail} "
+                f"(recovered shards: {recovered_ids or 'none'}, "
+                f"lost shards: {lost_ids}, restarts: {restarts_total})",
+                charged_steps=charged,
+                recovered_shards=recovered_ids,
+                lost_shards=lost_ids,
+                partial=partial,
+            )
+
+        run = _merge_run(
+            model, reports, accumulator, iterate_averaging, charged, restarts_total
         )
         _LOGGER.debug(
-            "hogwild run: %d steps over %d workers (%s)",
-            total_run,
+            "hogwild run: %d steps over %d workers, %d restarts (%s)",
+            run.result.epochs_run,
             len(reports),
-            result.profile,
+            restarts_total,
+            run.result.profile,
         )
-        return HogwildRun(result=result, reports=reports)
+        return run
     finally:
-        for process, _ in processes:
-            if process.is_alive():  # pragma: no cover - only on failure paths
+        for state in states:
+            process = state.process
+            if process is not None and process.is_alive():  # pragma: no cover
                 process.terminate()
                 process.join()
         if accumulator is not None:
             accumulator.destroy()
+        if temp_ckpt_dir is not None:
+            shutil.rmtree(temp_ckpt_dir, ignore_errors=True)

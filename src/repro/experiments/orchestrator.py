@@ -45,6 +45,8 @@ from ..config import PrivacyConfig, TrainingConfig
 from ..exceptions import ConfigurationError, OrchestrationError
 from ..graph import Graph, load_dataset
 from ..models import get_method
+from ..robustness.faults import maybe_hit
+from ..robustness.retry import RetryPolicy
 from ..utils import mp as _mp
 from ..utils.logging import get_logger
 from .store import RunStore
@@ -336,6 +338,9 @@ def _run_sleep(spec: RunSpec) -> dict[str, Any]:
 
 def run_spec(spec: RunSpec) -> dict[str, Any]:
     """Execute one cell in the current process and return its result dict."""
+    maybe_hit(
+        "orchestrator.cell", kind=spec.kind, method=spec.method, dataset=spec.dataset
+    )
     return _resolve_kind(spec.kind)(spec)
 
 
@@ -348,7 +353,12 @@ class SweepReport:
 
     ``results`` is aligned with the input spec list.  ``reused`` counts
     cells served from the store without recomputation; ``computed`` counts
-    cells actually run.
+    cells actually run.  A cell whose runner kept raising a retryable
+    error through the whole :class:`~repro.robustness.retry.RetryPolicy`
+    is *quarantined*: its slot holds an error dict
+    (``{"error": ..., "quarantined": True, ...}``), the failure is
+    recorded in ``failures``, and the sweep continues — one poison cell
+    no longer takes down a thousand-cell grid.
     """
 
     results: list[dict[str, Any]] = field(default_factory=list)
@@ -356,6 +366,10 @@ class SweepReport:
     computed: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: cells that exhausted their retry budget (count of ``failures``)
+    quarantined: int = 0
+    #: one record per quarantined cell: spec description, error, attempts
+    failures: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -363,11 +377,14 @@ class SweepReport:
 
     def summary(self) -> str:
         """One-line progress summary (the CLI prints this)."""
-        return (
+        line = (
             f"cells total={self.total} reused={self.reused} "
             f"computed={self.computed} workers={self.workers} "
             f"elapsed={self.elapsed_seconds:.2f}s"
         )
+        if self.quarantined:
+            line += f" quarantined={self.quarantined}"
+        return line
 
 
 def _resolve_store(store: RunStore | str | Path | None) -> RunStore | None:
@@ -400,21 +417,53 @@ def _chunk_pending(
     return chunks
 
 
+def _run_cell(
+    spec: RunSpec, retry: RetryPolicy | None
+) -> tuple[dict[str, Any], dict[str, Any] | None]:
+    """Run one cell, optionally under a retry policy.
+
+    Returns ``(result, failure)``.  ``failure`` is ``None`` for a clean
+    run; for a cell that exhausted its retries on a *retryable* error it
+    is the quarantine record and ``result`` is the matching error dict.
+    Non-retryable errors (and any error when ``retry`` is ``None``)
+    propagate unchanged — quarantine is for transient-looking failures
+    that refused to go away, never a blanket ``except``.
+    """
+    if retry is None:
+        return run_spec(spec), None
+    try:
+        return retry.call(lambda: run_spec(spec)), None
+    except Exception as exc:
+        if not retry.is_retryable(exc):
+            raise
+        message = f"{type(exc).__name__}: {exc}"
+        failure = {
+            "spec": spec.describe(),
+            "error": message,
+            "attempts": retry.max_attempts,
+        }
+        result = {"metric": spec.metric, "error": message, "quarantined": True}
+        return result, failure
+
+
 def _execute_chunk(
-    chunk: list[tuple[int, RunSpec]], store_directory: str | None
-) -> list[tuple[int, dict[str, Any]]]:
+    chunk: list[tuple[int, RunSpec]],
+    store_directory: str | None,
+    retry: RetryPolicy | None = None,
+) -> list[tuple[int, dict[str, Any], dict[str, Any] | None]]:
     """Worker entry point: run one group chunk, publishing into the store.
 
     Each finished cell is written to the store *immediately* (atomic JSON),
     so a sweep killed mid-chunk still keeps every completed cell.
+    Quarantined cells are *not* stored — a later resume retries them.
     """
     store = RunStore(store_directory) if store_directory is not None else None
-    out: list[tuple[int, dict[str, Any]]] = []
+    out: list[tuple[int, dict[str, Any], dict[str, Any] | None]] = []
     for index, spec in chunk:
-        result = run_spec(spec)
-        if store is not None:
+        result, failure = _run_cell(spec, retry)
+        if store is not None and failure is None:
             store.put(spec.fingerprint(), result, spec=spec.describe())
-        out.append((index, result))
+        out.append((index, result, failure))
     return out
 
 
@@ -423,6 +472,7 @@ def execute(
     workers: int = 1,
     store: RunStore | str | Path | None = None,
     progress: Callable[[str], None] | None = None,
+    retry: RetryPolicy | None = None,
 ) -> SweepReport:
     """Run every cell of a sweep, reusing stored results and parallelising.
 
@@ -440,6 +490,12 @@ def execute(
         resumable.
     progress:
         Optional callable receiving human-readable progress lines.
+    retry:
+        Optional :class:`~repro.robustness.retry.RetryPolicy`.  Retryable
+        cell failures are re-attempted with jittered backoff; a cell that
+        exhausts the budget is quarantined (recorded in
+        ``SweepReport.failures``, never stored, never raised) so the rest
+        of the sweep completes.  ``None`` (default) keeps fail-fast.
     """
     if workers < 1:
         raise OrchestrationError(f"workers must be >= 1, got {workers}")
@@ -476,13 +532,18 @@ def execute(
                 report.workers = workers
         if workers == 1:
             for index, spec in pending:
-                result = run_spec(spec)
-                if run_store is not None:
-                    run_store.put(spec.fingerprint(), result, spec=spec.describe())
+                result, failure = _run_cell(spec, retry)
                 report.results[index] = result
-                report.computed += 1
+                if failure is not None:
+                    report.failures.append(failure)
+                    report.quarantined += 1
+                else:
+                    if run_store is not None:
+                        run_store.put(spec.fingerprint(), result, spec=spec.describe())
+                    report.computed += 1
                 if progress is not None:
-                    progress(f"cell {report.reused + report.computed}/{len(specs)} done")
+                    done_count = report.reused + report.computed + report.quarantined
+                    progress(f"cell {done_count}/{len(specs)} done")
         else:
             store_directory = (
                 str(run_store.directory)
@@ -492,15 +553,19 @@ def execute(
             chunks = _chunk_pending(pending, workers)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_chunk, chunk, store_directory): chunk
+                    pool.submit(_execute_chunk, chunk, store_directory, retry): chunk
                     for chunk in chunks
                 }
                 outstanding = set(futures)
                 while outstanding:
                     done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                     for future in done:
-                        for index, result in future.result():
+                        for index, result, failure in future.result():
                             report.results[index] = result
+                            if failure is not None:
+                                report.failures.append(failure)
+                                report.quarantined += 1
+                                continue
                             report.computed += 1
                             # a memory-only store lives in the parent; disk
                             # stores were already written by the worker
@@ -511,9 +576,10 @@ def execute(
                                     spec=specs[index].describe(),
                                 )
                         if progress is not None:
-                            progress(
-                                f"cells {report.reused + report.computed}/{len(specs)} done"
+                            done_count = (
+                                report.reused + report.computed + report.quarantined
                             )
+                            progress(f"cells {done_count}/{len(specs)} done")
 
     report.elapsed_seconds = time.perf_counter() - started
     _LOGGER.info("%s", report.summary())

@@ -105,7 +105,7 @@ class RunStore:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
                 _atomic_write_json(path, payload)
-            except (OSError, TypeError, ValueError) as exc:
+            except (OSError, TypeError, ValueError) as exc:  # repro-lint: disable=RETRY001 -- the disk tier is best-effort by contract: the memory tier already holds the result, so a full/read-only volume must degrade to a warning, and retrying against it would only stall the sweep
                 # full/read-only volume or unserialisable extras: the disk
                 # tier is best effort — the memory tier already has it
                 _LOGGER.warning("run store disk write failed for %s: %s", path, exc)
@@ -198,13 +198,11 @@ class RunStore:
             # another process cleared between the existence check and the
             # read — a plain miss
             return None
-        except (OSError, ValueError):
-            # corrupt/foreign payload: drop it (best effort) and recompute
-            # the cell rather than killing the sweep
+        except (OSError, ValueError):  # repro-lint: disable=RETRY001 -- a cache read that fails is a miss by design: the cell is recomputed from scratch, which is strictly more reliable than re-reading a payload that just proved unreadable
             _LOGGER.warning("dropping unreadable run store entry %s", path)
             try:
                 path.unlink(missing_ok=True)
-            except OSError:
+            except OSError:  # repro-lint: disable=RETRY001 -- best-effort eviction of an already-corrupt entry; if the unlink fails the entry simply stays and is dropped again next read
                 pass
             return None
         return dict(payload["result"])

@@ -119,7 +119,7 @@ def load_artifact(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, An
         with np.load(path, allow_pickle=False) as archive:
             metadata = _read_metadata(path, archive)
             arrays = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:  # repro-lint: disable=RETRY001 -- translating to a typed ArtifactError is the whole job here; whether loading this artifact is worth retrying is the caller's policy decision, not the reader's
         raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
     return arrays, _validate_envelope(path, metadata)
 
@@ -160,7 +160,7 @@ def peek_artifact(path: str | Path) -> dict[str, Any]:
                     "shape": [int(dim) for dim in shape],
                     "dtype": str(dtype),
                 }
-    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:  # repro-lint: disable=RETRY001 -- translating to a typed ArtifactError is the whole job here; whether peeking again is worth it is the caller's policy decision, not the reader's
         raise ArtifactError(f"cannot read model artifact {path}: {exc}") from exc
     metadata = dict(_validate_envelope(path, metadata))
     metadata["arrays"] = arrays_info

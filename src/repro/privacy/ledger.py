@@ -2,9 +2,9 @@
 
 The in-process :class:`RdpAccountant` dies with the process, which makes
 "retrain nightly on the updated graph" silently reset ε to zero.  The
-ledger is the durable record: a per-dataset append-only JSON file
-(atomic rewrite per append via :func:`~repro.utils.fileio.atomic_write_path`)
-holding two kinds of entries:
+ledger is the durable record: a per-dataset append-only JSONL file — a
+canonical-JSON header line followed by one canonical-JSON record per line
+— holding two kinds of entries:
 
 * ``delta`` — the dataset lineage: *old graph fingerprint → new graph
   fingerprint* through an :class:`~repro.streaming.EdgeDelta` fingerprint.
@@ -18,6 +18,20 @@ holding two kinds of entries:
 
 Entries are hash-chained (each carries the hash of its predecessor), so a
 truncated, reordered, or edited ledger fails verification at load time.
+
+Durability (PR 10).  Appends are O(1): one line is appended and fsync'd by
+the OS rather than rewriting the whole document, so the ledger scales to
+long lineages.  The failure modes are typed: a process killed mid-append
+leaves a *torn tail* — a final line that is not valid JSON while the chain
+before it verifies — which loading reports as
+:class:`~repro.exceptions.LedgerTornError`; re-opening with
+``PrivacyLedger(path, repair=True)`` truncates the torn tail (atomic full
+rewrite) under a :class:`LedgerRepairWarning`.  Corruption anywhere *else*
+stays a hard :class:`~repro.exceptions.PrivacyError` — only the
+last-line-torn signature is recoverable, because only there can "killed
+mid-append" be distinguished from tampering.  Version-1 whole-document
+ledgers load transparently and are migrated to the JSONL form on their
+next append.
 
 Composition is exact, not additive-in-ε: the cumulative guarantee is
 recomputed from the raw entries by summing RDP curves on a shared α grid
@@ -34,25 +48,41 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from ..exceptions import PrivacyBudgetExhausted, PrivacyError
+from ..exceptions import LedgerTornError, PrivacyBudgetExhausted, PrivacyError
+from ..robustness.faults import get_active_plan
 from ..utils.fileio import atomic_write_path
 from .accountant import PrivacySpent, RdpAccountant
 from .rdp import DEFAULT_ALPHA_GRID, compose_rdp, rdp_to_dp
 from .subsampling import subsampled_gaussian_rdp_curve
 
-__all__ = ["PrivacyLedger", "LEDGER_FORMAT", "LEDGER_VERSION"]
+__all__ = [
+    "LEDGER_FORMAT",
+    "LEDGER_VERSION",
+    "LedgerRepairWarning",
+    "PrivacyLedger",
+]
 
 LEDGER_FORMAT = "repro.privacy.ledger"
-LEDGER_VERSION = 1
+LEDGER_VERSION = 2
 
 #: parent pointer of the first entry in a chain
 _GENESIS = "genesis"
+
+
+class LedgerRepairWarning(UserWarning):
+    """A torn ledger tail was truncated under explicit ``repair=True``."""
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """One canonical-JSON line (sorted keys, no whitespace, no newline)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def _fingerprint_of(dataset: object) -> str:
@@ -94,16 +124,30 @@ class PrivacyLedger:
         Rényi orders of the shared composition grid.  Every accountant
         attached to (or recorded into) this ledger must use the identical
         grid — curve addition across grids would be meaningless.
+    repair:
+        Opt-in recovery of a *torn tail* (the file's final record line is
+        incomplete — the signature of a writer killed mid-append): the
+        torn tail is truncated with a :class:`LedgerRepairWarning` and the
+        verified prefix is kept.  ``False`` (default) raises
+        :class:`~repro.exceptions.LedgerTornError` instead, so silent data
+        loss needs an explicit decision.  Corruption that is not a torn
+        tail always raises, regardless of ``repair``.
     """
 
     def __init__(
-        self, path: str | Path, alphas: Sequence[float] = DEFAULT_ALPHA_GRID
+        self,
+        path: str | Path,
+        alphas: Sequence[float] = DEFAULT_ALPHA_GRID,
+        *,
+        repair: bool = False,
     ) -> None:
         self.path = Path(path)
         self.alphas = np.asarray(list(alphas), dtype=float)
         if self.alphas.size == 0 or np.any(self.alphas <= 1.0):
             raise PrivacyError("all alpha orders must be > 1")
+        self.repair = bool(repair)
         self._entries: list[dict[str, Any]] = []
+        self._loaded_version = LEDGER_VERSION
         if self.path.exists():
             self._load()
 
@@ -112,21 +156,96 @@ class PrivacyLedger:
     # ------------------------------------------------------------------ #
     def _load(self) -> None:
         try:
-            document = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            raw = self.path.read_text()
+        except OSError as exc:  # repro-lint: disable=RETRY001 -- load is a read-only startup path; the caller decides whether opening the ledger again is meaningful, a blind retry here would just mask a dead disk
             raise PrivacyError(f"cannot read privacy ledger {self.path}: {exc}") from exc
-        if not isinstance(document, dict) or document.get("format") != LEDGER_FORMAT:
+        # a v1 ledger (or a v2 header-only file) is one whole JSON document;
+        # anything multi-line lands in the JSONL path below
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError:
+            document = None
+        if document is not None:
+            if not isinstance(document, dict) or document.get("format") != LEDGER_FORMAT:
+                raise PrivacyError(
+                    f"{self.path} is not a privacy ledger (missing format marker)"
+                )
+            version = document.get("version")
+            if version == LEDGER_VERSION:
+                self._entries = []  # a freshly-written v2 header, no records yet
+                return
+            if version != 1:
+                raise PrivacyError(
+                    f"unsupported ledger version {version!r} in {self.path}"
+                )
+            entries = document.get("entries")
+            if not isinstance(entries, list):
+                raise PrivacyError(
+                    f"malformed ledger {self.path}: entries must be a list"
+                )
+            self._entries = self._verify_chain(entries)
+            self._loaded_version = 1  # migrated to JSONL on the next append
+            return
+        self._load_jsonl(raw)
+
+    def _load_jsonl(self, raw: str) -> None:
+        lines = [
+            (number, line)
+            for number, line in enumerate(raw.splitlines(), start=1)
+            if line.strip()
+        ]
+        try:
+            header = json.loads(lines[0][1])
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("format") != LEDGER_FORMAT:
             raise PrivacyError(
                 f"{self.path} is not a privacy ledger (missing format marker)"
             )
-        if document.get("version") != LEDGER_VERSION:
+        if header.get("version") != LEDGER_VERSION:
             raise PrivacyError(
-                f"unsupported ledger version {document.get('version')!r} in {self.path}"
+                f"unsupported ledger version {header.get('version')!r} in {self.path}"
             )
-        entries = document.get("entries")
-        if not isinstance(entries, list):
-            raise PrivacyError(f"malformed ledger {self.path}: entries must be a list")
-        self._entries = self._verify_chain(entries)
+        entries: list[dict[str, Any]] = []
+        torn: tuple[int, str] | None = None
+        for position, (number, line) in enumerate(lines[1:]):
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("record is not a JSON object")
+            except (json.JSONDecodeError, ValueError) as exc:
+                if position == len(lines) - 2:  # the file's final record line
+                    torn = (number, line)
+                    break
+                raise PrivacyError(
+                    f"malformed ledger {self.path}: line {number} is not a "
+                    f"valid record ({exc})"
+                ) from exc
+            entries.append(entry)
+        # the prefix must verify even when the tail is torn: a torn tail is
+        # recoverable precisely because everything before it is provably
+        # intact — a broken chain is tampering, not a crash signature
+        verified = self._verify_chain(entries)
+        if torn is not None:
+            if not self.repair:
+                raise LedgerTornError(
+                    f"torn write detected in {self.path}: line {torn[0]} is an "
+                    f"incomplete record ({len(torn[1])} bytes) — the writer was "
+                    "likely killed mid-append. The chain before it is intact; "
+                    "re-open with PrivacyLedger(path, repair=True) to truncate "
+                    "the torn tail."
+                )
+            warnings.warn(
+                LedgerRepairWarning(
+                    f"truncating torn tail of {self.path} (line {torn[0]}, "
+                    f"{len(torn[1])} bytes); {len(verified)} verified entries kept"
+                ),
+                stacklevel=3,
+            )
+            self._entries = verified
+            self._rewrite()
+            return
+        self._entries = verified
 
     def _verify_chain(self, entries: list[Any]) -> list[dict[str, Any]]:
         expected_parent = _GENESIS
@@ -152,19 +271,40 @@ class PrivacyLedger:
             verified.append(entry)
         return verified
 
+    def _rewrite(self) -> None:
+        """Atomic full rewrite in the JSONL form (migration / repair)."""
+        lines = [_canonical({"format": LEDGER_FORMAT, "version": LEDGER_VERSION})]
+        lines.extend(_canonical(entry) for entry in self._entries)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with atomic_write_path(self.path) as tmp_path:
+            tmp_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        self._loaded_version = LEDGER_VERSION
+
     def _append(self, entry: dict[str, Any]) -> dict[str, Any]:
         entry = dict(entry)
         entry["parent"] = self.head_hash
         entry["entry_hash"] = _entry_hash(entry)
+        if self._loaded_version != LEDGER_VERSION or not self.path.exists():
+            # first write of a new ledger, or the one-time migration of a
+            # v1 whole-document file: atomic full rewrite
+            self._entries.append(entry)
+            self._rewrite()
+            return entry
+        line = _canonical(entry)
+        with self.path.open("a", encoding="utf-8") as fh:
+            half = len(line) // 2
+            fh.write(line[:half])
+            # the ledger.append fault point sits mid-record: a crash rule
+            # here provably tears the line on disk (the head is flushed
+            # first), which is what the torn-tail recovery drill relies on.
+            # Without an active plan the byte stream is identical.
+            plan = get_active_plan()
+            if plan is not None:
+                fh.flush()
+                plan.hit("ledger.append", path=str(self.path))
+            fh.write(line[half:])
+            fh.write("\n")
         self._entries.append(entry)
-        document = {
-            "format": LEDGER_FORMAT,
-            "version": LEDGER_VERSION,
-            "entries": self._entries,
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with atomic_write_path(self.path) as tmp_path:
-            tmp_path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
         return entry
 
     # ------------------------------------------------------------------ #

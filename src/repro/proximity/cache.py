@@ -187,13 +187,13 @@ class ProximityCache:
                 # another process invalidated/cleared between the existence
                 # check and the read — degrade to a miss, don't crash
                 matrix = None
-            except (OSError, ValueError, KeyError, zipfile.BadZipFile, ProximityError):
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile, ProximityError):  # repro-lint: disable=RETRY001 -- a cache read that fails is a miss by design: the matrix is recomputed, which is strictly more reliable than re-reading a payload that just proved unreadable
                 # corrupt/foreign/incompatible payload: drop it (best
                 # effort) and recompute rather than killing the sweep
                 matrix = None
                 try:
                     path.unlink(missing_ok=True)
-                except OSError:  # e.g. read-only volume: leave it behind
+                except OSError:  # repro-lint: disable=RETRY001 -- best-effort eviction on e.g. a read-only volume: leaving the corrupt file behind is harmless (it re-misses), retrying the unlink is not
                     pass
             if matrix is not None:
                 self._remember(key, matrix)
@@ -209,7 +209,7 @@ class ProximityCache:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
                 _save_proximity(path, matrix)
-            except OSError as exc:
+            except OSError as exc:  # repro-lint: disable=RETRY001 -- the disk tier is best-effort by contract: the matrix is already served from memory, so a full/read-only volume degrades to a warning; retrying would stall the fit for a cache
                 # full or read-only volume: the disk tier is best-effort —
                 # the matrix is already served from memory, so log and go on
                 _LOGGER.warning("proximity cache disk store failed for %s: %s", path, exc)

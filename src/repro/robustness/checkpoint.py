@@ -1,0 +1,195 @@
+"""Per-shard hogwild checkpoints + the supervisor's restart policy.
+
+The hogwild supervisor (:func:`~repro.engine.hogwild.run_hogwild` with a
+:class:`SupervisorPolicy`) survives worker death by restarting the dead
+shard from its last checkpoint.  A checkpoint is deliberately tiny — the
+model weights live in the *parent's* shared-memory pages and survive the
+worker; what a restarted incarnation needs is only:
+
+* ``steps`` — how many of its shard-target steps the shard had completed
+  (the resume offset, and the floor of any conservative privacy charge);
+* ``rng_state`` — the worker's root ``bit_generator.state`` at the
+  checkpoint, so the restarted incarnation continues a *deterministic*
+  stream (a continuation, not a bit-replay of the lost steps — hogwild is
+  reproducible in distribution, not bitwise);
+* ``losses`` — the cumulative loss trace up to the checkpoint, so the
+  merged run-level curve keeps its shape;
+* ``accountant_steps`` — the mechanism-invocation count the checkpoint
+  vouches for (equals ``steps``; recorded explicitly because privacy
+  accounting must never be inferred from a field with looser semantics).
+
+Checkpoints are written with :func:`~repro.utils.fileio.atomic_write_path`
+— a crash mid-checkpoint leaves the previous checkpoint intact, never a
+torn one — and a checkpoint that fails verification on load is treated as
+absent (the supervisor then conservatively resumes from the older state and
+over-charges the privacy accountant, which is the safe direction).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import ConfigurationError
+from ..utils.fileio import atomic_write_path, tmp_file_pattern
+from ..utils.logging import get_logger
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "ShardCheckpoint",
+    "SupervisorPolicy",
+]
+
+_LOGGER = get_logger("robustness.checkpoint")
+
+CHECKPOINT_FORMAT = "repro.hogwild.checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ShardCheckpoint:
+    """Resume state of one hogwild shard at a step boundary."""
+
+    shard: int
+    steps: int
+    incarnation: int
+    rng_state: dict[str, Any]
+    losses: list[float] = field(default_factory=list)
+    accountant_steps: int = -1
+
+    def __post_init__(self) -> None:
+        if self.accountant_steps < 0:
+            self.accountant_steps = self.steps
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "shard": int(self.shard),
+            "steps": int(self.steps),
+            "incarnation": int(self.incarnation),
+            "rng_state": self.rng_state,
+            "losses": [float(loss) for loss in self.losses],
+            "accountant_steps": int(self.accountant_steps),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ShardCheckpoint":
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError("not a hogwild checkpoint (missing format marker)")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {payload.get('version')!r}")
+        return cls(
+            shard=int(payload["shard"]),
+            steps=int(payload["steps"]),
+            incarnation=int(payload["incarnation"]),
+            rng_state=dict(payload["rng_state"]),
+            losses=[float(loss) for loss in payload.get("losses", [])],
+            accountant_steps=int(payload.get("accountant_steps", payload["steps"])),
+        )
+
+
+class CheckpointStore:
+    """One directory of ``shard-NNNN.json`` checkpoints for a single run.
+
+    Checkpoints are intra-run crash recovery, not cross-run state: the
+    supervisor clears the directory at run start so a stale file from an
+    earlier run can never masquerade as progress.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, shard: int) -> Path:
+        return self.directory / f"shard-{int(shard):04d}.json"
+
+    def save(self, checkpoint: ShardCheckpoint) -> Path:
+        path = self.path_for(checkpoint.shard)
+        with atomic_write_path(path) as tmp_path:
+            tmp_path.write_text(json.dumps(checkpoint.to_payload(), sort_keys=True))
+        return path
+
+    def load(self, shard: int) -> ShardCheckpoint | None:
+        """The shard's checkpoint, or ``None`` (missing *or* unreadable).
+
+        Corruption degrades to "no checkpoint": the supervisor restarts
+        from older state and over-charges the accountant — conservative,
+        never silently optimistic.
+        """
+        path = self.path_for(shard)
+        try:
+            payload = json.loads(path.read_text())
+            return ShardCheckpoint.from_payload(payload)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:  # repro-lint: disable=RETRY001 -- a checkpoint that cannot be read is treated as absent by design: the supervisor resumes from older state and over-charges the accountant, which is the conservative direction; retrying would delay the restart for no safety gain
+            _LOGGER.warning(
+                "ignoring unreadable checkpoint %s (%s); resuming conservatively",
+                path,
+                exc,
+            )
+            return None
+
+    def clear(self) -> None:
+        """Remove every checkpoint (and orphaned temp file) in the directory."""
+        orphan = tmp_file_pattern(r"shard-\d{4}", ".json")
+        for path in self.directory.glob("*.json"):
+            if path.name.startswith("shard-") or orphan.fullmatch(path.name):
+                path.unlink(missing_ok=True)
+        for path in self.directory.glob(".shard-*.json"):
+            path.unlink(missing_ok=True)
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How :func:`~repro.engine.hogwild.run_hogwild` supervises its workers.
+
+    Parameters
+    ----------
+    max_restarts:
+        Restarts allowed *per shard* before the shard is declared lost and
+        the run degrades to a partial-result
+        :class:`~repro.exceptions.HogwildDegradedError`.
+    backoff_base / backoff_max:
+        Exponential restart backoff per shard: the first restart waits
+        ``backoff_base`` seconds, each further one doubles, capped.
+    checkpoint_every:
+        Steps between per-shard checkpoints (``0`` disables checkpointing;
+        dead shards then restart from step 0 and the whole shard target is
+        re-charged).
+    checkpoint_dir:
+        Directory for the checkpoint files.  ``None`` (default) uses a
+        private temporary directory removed when the run ends.
+    worker_timeout:
+        Seconds a worker may run without completing before the supervisor
+        declares it stalled, kills it, and treats it as a crash.  ``None``
+        disables stall detection.
+    """
+
+    max_restarts: int = 2
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    checkpoint_every: int = 25
+    checkpoint_dir: str | Path | None = None
+    worker_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ConfigurationError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )

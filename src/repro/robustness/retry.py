@@ -1,0 +1,115 @@
+"""Shared retry policy: jittered exponential backoff from a seeded stream.
+
+Transient faults (a disk hiccup during :func:`~repro.utils.fileio.atomic_write_path`'s
+publish, an OOM-killed orchestrator child) deserve a bounded number of
+re-attempts; deterministic faults deserve to fail fast.  :class:`RetryPolicy`
+is the one definition of that split used across the codebase — the
+orchestrator quarantines poison cells through it, and the file-publication
+path retries its ``os.replace`` through it.
+
+The backoff jitter is drawn from a *seeded* numpy stream, so a retried run
+is reproducible: the same policy retries the same failure with the same
+pauses every time.  The policy is a frozen, picklable dataclass — it can
+ride a ``ProcessPoolExecutor`` dispatch unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Classify retryable failures and pace the re-attempts.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retrying).
+    base_delay / multiplier / max_delay:
+        Exponential backoff: attempt ``i`` waits about
+        ``base_delay * multiplier**(i-1)``, capped at ``max_delay``.
+    jitter:
+        Each pause is scaled by a uniform draw from
+        ``[1 - jitter, 1 + jitter]`` (``0`` = fully deterministic pacing).
+    retryable:
+        Exception classes worth re-attempting.  Anything else propagates
+        immediately.
+    seed:
+        Seed of the jitter stream (reproducible backoff sequences).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    retryable: tuple[type[BaseException], ...] = (OSError,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is one of the transient classes worth retrying."""
+        return isinstance(exc, self.retryable)
+
+    def delays(self) -> Iterator[float]:
+        """The jittered pause before each re-attempt, in order."""
+        rng = np.random.default_rng(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            scale = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+            yield min(delay * scale, self.max_delay)
+            delay = min(delay * self.multiplier, self.max_delay)
+
+    def call(
+        self,
+        fn: Callable[[], _T],
+        *,
+        sleep: Callable[[float], Any] = time.sleep,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> _T:
+        """Run ``fn`` under the policy; raises the final failure unchanged.
+
+        ``on_retry(attempt, exc, pause)`` is invoked before each backoff
+        sleep (logging, counters); ``sleep`` is injectable for tests.
+        """
+        pauses = self.delays()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:
+                if not self.is_retryable(exc) or attempt >= self.max_attempts:
+                    raise
+                pause = next(pauses)
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                sleep(pause)
+                attempt += 1

@@ -38,6 +38,7 @@ import numpy as np
 from ..analysis.markers import zero_alloc
 from ..engine.workspace import resolve_compute_dtype
 from ..exceptions import ConfigurationError
+from ..robustness.faults import maybe_hit
 
 __all__ = ["QueryEngine", "QueryWorkspace", "TopKResult"]
 
@@ -288,6 +289,9 @@ class QueryEngine:
             raise ConfigurationError(f"k must be >= 0, got {k}")
         if metric not in METRICS:
             raise ConfigurationError(f"unknown metric {metric!r}; available: {METRICS}")
+        maybe_hit(
+            "serving.engine.query", k=int(k), metric=metric, batch=int(nodes.size)
+        )
         k_eff = min(int(k), self.num_nodes - 1 if exclude_self else self.num_nodes)
         k_eff = max(k_eff, 0)
         if k_eff == 0 or nodes.size == 0:

@@ -18,20 +18,52 @@ assembled stay queued and flush as their own group — every engine call
 serves one homogeneous batch.  The engine (and its preallocated
 workspace) is owned by the server's single flush loop; never share one
 engine between a running server and direct callers.
+
+Failure envelope (PR 10).  A production front end must bound every bad
+outcome, so the server carries three opt-in guards, each a typed error:
+
+* **deadlines** — ``request_timeout`` (or a per-call ``timeout=``) bounds
+  how long one request may wait end-to-end; an expired waiter raises
+  :class:`~repro.exceptions.ServerTimeoutError` and is dropped from any
+  batch still being assembled (its row is never computed);
+* **backpressure** — ``max_pending`` bounds the queue; requests beyond it
+  fast-fail with :class:`~repro.exceptions.ServerOverloadedError` instead
+  of growing an unbounded backlog;
+* **circuit breaker** — ``breaker_threshold`` consecutive engine failures
+  open the breaker: new requests fast-fail with
+  :class:`~repro.exceptions.CircuitOpenError` until ``breaker_reset``
+  seconds pass, after which the breaker half-opens and the next batch
+  probes the engine (success closes it, failure re-opens it).
+
+``stop(drain_timeout=...)`` bounds shutdown: waiters that cannot be
+served in time receive :class:`~repro.exceptions.ServerClosedError`
+rather than hanging forever.  All guards default to off — the unhardened
+behaviour is bit-identical to the previous server.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServerTimeoutError,
+)
 from .engine import QueryEngine
 
 __all__ = ["BatchingServer", "ServerStats"]
+
+#: distinguishes "argument omitted" from an explicit ``None`` override
+_UNSET: Any = object()
 
 
 @dataclass
@@ -44,6 +76,19 @@ class ServerStats:
     coalesced_requests: int = 0
     max_batch_size: int = 0
     batch_sizes: list[int] = field(default_factory=list)
+    #: requests whose deadline expired before their batch was served
+    timeouts: int = 0
+    #: requests fast-failed because the pending queue was full
+    rejected_overload: int = 0
+    #: requests fast-failed because the circuit breaker was open
+    rejected_open: int = 0
+    #: engine calls that raised (each fails its whole batch)
+    engine_failures: int = 0
+    #: closed/half-open -> open breaker transitions
+    breaker_opened: int = 0
+    #: waiters abandoned by a deadline-bounded ``stop``
+    abandoned: int = 0
+    breaker_state: str = "closed"
 
     @property
     def mean_batch_size(self) -> float:
@@ -59,6 +104,70 @@ class ServerStats:
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": self.mean_batch_size,
         }
+
+    def health(self) -> dict:
+        """The full operational snapshot: throughput + failure counters."""
+        return {
+            **self.to_dict(),
+            "timeouts": self.timeouts,
+            "rejected_overload": self.rejected_overload,
+            "rejected_open": self.rejected_open,
+            "engine_failures": self.engine_failures,
+            "breaker_opened": self.breaker_opened,
+            "abandoned": self.abandoned,
+            "breaker_state": self.breaker_state,
+        }
+
+
+class _CircuitBreaker:
+    """Consecutive-failure breaker; state transitions mirrored into stats.
+
+    ``open -> half_open`` happens lazily when the state is next observed
+    after ``reset_after`` seconds — no timer task to manage.  In
+    ``half_open`` requests are admitted so the next batch probes the
+    engine: one success closes the breaker, one failure re-opens it.
+    """
+
+    def __init__(
+        self, threshold: int | None, reset_after: float, stats: ServerStats
+    ) -> None:
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self._stats = stats
+        self._state = "closed"
+        self._consecutive = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        if (
+            self._state == "open"
+            and time.monotonic() - self._opened_at >= self.reset_after
+        ):
+            self._set("half_open")
+        return self._state
+
+    def _set(self, state: str) -> None:
+        self._state = state
+        self._stats.breaker_state = state
+
+    def allows(self) -> bool:
+        return self.threshold is None or self.state != "open"
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        if self.threshold is not None and self._state != "closed":
+            self._set("closed")
+
+    def record_failure(self) -> None:
+        if self.threshold is None:
+            return
+        self._consecutive += 1
+        if self.state == "half_open" or self._consecutive >= self.threshold:
+            if self._state != "open":
+                self._stats.breaker_opened += 1
+            self._set("open")
+            self._opened_at = time.monotonic()
 
 
 class BatchingServer:
@@ -78,6 +187,19 @@ class BatchingServer:
     default_k / metric / exclude_self:
         Per-request defaults; ``top_k`` callers may override ``k`` and
         ``metric`` per request.
+    request_timeout:
+        Default end-to-end deadline per request in seconds (``None`` =
+        no deadline); ``top_k(..., timeout=...)`` overrides per call.
+    max_pending:
+        Pending-queue bound; beyond it requests raise
+        :class:`~repro.exceptions.ServerOverloadedError` immediately.
+    breaker_threshold / breaker_reset:
+        Consecutive engine failures that open the circuit breaker, and
+        seconds before an open breaker half-opens for a probe.
+        ``breaker_threshold=None`` disables the breaker.
+    drain_timeout:
+        Default bound on ``stop``'s drain in seconds (``None`` = drain
+        fully, however long it takes).
 
     Use as an async context manager, or call ``start`` / ``stop``::
 
@@ -87,7 +209,12 @@ class BatchingServer:
 
     def __init__(self, engine: QueryEngine, *, max_batch: int | None = None,
                  max_delay: float = 0.002, default_k: int = 10,
-                 metric: str = "cosine", exclude_self: bool = True) -> None:
+                 metric: str = "cosine", exclude_self: bool = True,
+                 request_timeout: float | None = None,
+                 max_pending: int | None = None,
+                 breaker_threshold: int | None = None,
+                 breaker_reset: float = 1.0,
+                 drain_timeout: float | None = None) -> None:
         if max_delay < 0:
             raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
         self.engine = engine
@@ -98,8 +225,37 @@ class BatchingServer:
         self.default_k = int(default_k)
         self.metric = metric
         self.exclude_self = bool(exclude_self)
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
+        if max_pending is not None and int(max_pending) < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {max_pending}")
+        if breaker_threshold is not None and int(breaker_threshold) < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_reset <= 0:
+            raise ConfigurationError(
+                f"breaker_reset must be positive, got {breaker_reset}"
+            )
+        if drain_timeout is not None and drain_timeout < 0:
+            raise ConfigurationError(
+                f"drain_timeout must be >= 0, got {drain_timeout}"
+            )
+        self.request_timeout = request_timeout
+        self.max_pending = int(max_pending) if max_pending is not None else None
+        self.breaker_threshold = (
+            int(breaker_threshold) if breaker_threshold is not None else None
+        )
+        self.breaker_reset = float(breaker_reset)
+        self.drain_timeout = drain_timeout
         self.stats = ServerStats()
+        self._breaker = _CircuitBreaker(
+            self.breaker_threshold, self.breaker_reset, self.stats
+        )
         self._pending: deque = deque()
+        self._in_flight: list[asyncio.Future] = []
         self._wakeup: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
         self._closing = False
@@ -113,21 +269,60 @@ class BatchingServer:
             raise RuntimeError("BatchingServer is already running")
         self._closing = False
         self.stats = ServerStats()
+        self._breaker = _CircuitBreaker(
+            self.breaker_threshold, self.breaker_reset, self.stats
+        )
         self._wakeup = asyncio.Event()
         self._task = asyncio.create_task(self._run())
         return self
 
-    async def stop(self) -> None:
-        """Drain every pending request, then stop the flush loop."""
+    async def stop(self, drain_timeout: float | None = _UNSET) -> None:
+        """Drain pending requests, then stop the flush loop.
+
+        With a ``drain_timeout`` (argument, or the constructor default)
+        the drain is bounded: when the deadline passes, the loop is
+        cancelled and every unserved waiter — in flight or still queued —
+        receives :class:`~repro.exceptions.ServerClosedError` instead of
+        hanging on a future nobody will complete.
+        """
         if self._task is None:
             return
+        limit = self.drain_timeout if drain_timeout is _UNSET else drain_timeout
         self._closing = True
         self._wakeup.set()
+        task = self._task
         try:
-            await self._task
+            if limit is None:
+                await task
+            else:
+                try:
+                    await asyncio.wait_for(asyncio.shield(task), limit)
+                except asyncio.TimeoutError:
+                    task.cancel()
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    self._abandon_waiters()
         finally:
             self._task = None
             self._wakeup = None
+
+    def _abandon_waiters(self) -> None:
+        """Fail every unserved waiter with ``ServerClosedError``."""
+        exc = ServerClosedError(
+            "server stopped before the request could be served"
+        )
+        for future in list(self._in_flight):
+            if not future.done():
+                future.set_exception(exc)
+                self.stats.abandoned += 1
+        self._in_flight = []
+        while self._pending:
+            *_, future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+                self.stats.abandoned += 1
 
     async def __aenter__(self) -> "BatchingServer":
         return await self.start()
@@ -143,16 +338,48 @@ class BatchingServer:
     # the request surface
     # ------------------------------------------------------------------ #
     async def top_k(self, node: int, k: int | None = None, *,
-                    metric: str | None = None) -> tuple[np.ndarray, np.ndarray]:
-        """Await the top-k neighbours of one node: ``(ids, scores)`` 1-D."""
+                    metric: str | None = None,
+                    timeout: float | None = _UNSET) -> tuple[np.ndarray, np.ndarray]:
+        """Await the top-k neighbours of one node: ``(ids, scores)`` 1-D.
+
+        ``timeout`` overrides the server's ``request_timeout`` for this
+        call (``None`` = wait without a deadline).
+        """
         if not self.is_running:
             raise RuntimeError("BatchingServer is not running; use 'async with' or start()")
+        if not self._breaker.allows():
+            self.stats.rejected_open += 1
+            raise CircuitOpenError(
+                "circuit breaker is open after repeated engine failures; "
+                f"retry after {self.breaker_reset}s"
+            )
+        if self.max_pending is not None:
+            backlog = sum(1 for *_, f in self._pending if not f.done())
+            if backlog >= self.max_pending:
+                self.stats.rejected_overload += 1
+                raise ServerOverloadedError(
+                    f"pending queue is full ({backlog} waiting >= "
+                    f"max_pending={self.max_pending}); retry later"
+                )
         request_k = self.default_k if k is None else int(k)
         request_metric = self.metric if metric is None else metric
         future = asyncio.get_running_loop().create_future()
         self._pending.append((int(node), request_k, request_metric, future))
         self._wakeup.set()
-        ids, scores = await future
+        limit = self.request_timeout if timeout is _UNSET else timeout
+        if limit is None:
+            ids, scores = await future
+            return ids, scores
+        try:
+            # wait_for cancels the future on expiry, which is exactly the
+            # removal protocol: the flush loop skips done futures, so the
+            # expired waiter's row is never computed nor delivered
+            ids, scores = await asyncio.wait_for(future, limit)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise ServerTimeoutError(
+                f"top_k deadline of {limit}s expired before the batch was served"
+            ) from None
         return ids, scores
 
     # ------------------------------------------------------------------ #
@@ -182,19 +409,27 @@ class BatchingServer:
 
     async def _flush_one_group(self, loop: asyncio.AbstractEventLoop) -> None:
         """Serve the head-of-queue group of compatible requests."""
-        head_k, head_metric = self._pending[0][1], self._pending[0][2]
         batch = []
         skipped: deque = deque()
+        head: tuple[int, str] | None = None
         while self._pending and len(batch) < self.max_batch:
             item = self._pending.popleft()
-            if (item[1], item[2]) == (head_k, head_metric):
+            if item[3].done():  # deadline expired while queued — drop the row
+                continue
+            if head is None:
+                head = (item[1], item[2])
+            if (item[1], item[2]) == head:
                 batch.append(item)
             else:
                 skipped.append(item)
         skipped.extend(self._pending)
         self._pending = skipped
+        if not batch:
+            return
+        head_k, head_metric = head
 
         nodes = np.array([node for node, *_ in batch], dtype=np.int64)
+        self._in_flight = [future for *_, future in batch]
         try:
             result = await loop.run_in_executor(
                 None,
@@ -202,11 +437,22 @@ class BatchingServer:
                     nodes, head_k, metric=head_metric, exclude_self=self.exclude_self
                 ),
             )
+        except asyncio.CancelledError:
+            # a deadline-bounded stop() cancelled the loop mid-call: the
+            # executor thread finishes on its own, but these waiters will
+            # never get a result — fail them now, then let the cancel win
+            self._abandon_waiters()
+            raise
         except Exception as exc:  # deliver the failure to every waiter
+            self.stats.engine_failures += 1
+            self._breaker.record_failure()
             for *_, future in batch:
                 if not future.done():
                     future.set_exception(exc)
+            self._in_flight = []
             return
+        self._in_flight = []
+        self._breaker.record_success()
         self.stats.requests += len(batch)
         self.stats.batches += 1
         self.stats.batch_sizes.append(len(batch))

@@ -180,7 +180,7 @@ class ServableModel:
             raise ArtifactError(f"no servable model at {path}")
         try:
             document = json.loads(metadata_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, json.JSONDecodeError) as exc:  # repro-lint: disable=RETRY001 -- load-time translation to a typed ArtifactError; a serving process that cannot read its servable must fail loudly at startup, not retry into serving stale state
             raise ArtifactError(f"corrupt servable metadata in {path}: {exc}") from exc
         if not isinstance(document, dict) or document.get("format") != SERVABLE_FORMAT:
             raise ArtifactError(f"{path} does not contain a {SERVABLE_FORMAT} model")
@@ -201,7 +201,7 @@ class ServableModel:
             sidecar = path / filename
             try:
                 array = np.load(sidecar, mmap_mode="r", allow_pickle=False)
-            except (OSError, ValueError) as exc:
+            except (OSError, ValueError) as exc:  # repro-lint: disable=RETRY001 -- mmap either succeeds or the servable is unusable; translating to a typed ArtifactError at startup beats retrying a mapping the kernel just refused
                 raise ArtifactError(f"cannot map sidecar {sidecar}: {exc}") from exc
             if list(array.shape) != list(entry.get("shape", [])) or str(
                 array.dtype

@@ -7,6 +7,13 @@ onto the final name.  Concurrent writers of the same key never interleave
 into one file, and readers only ever see complete payloads.  This module
 is the single definition of that discipline (temp naming, rename publish,
 cleanup of a failed write) so the two tiers cannot drift apart.
+
+The publish step optionally runs under a
+:class:`~repro.robustness.retry.RetryPolicy`: the temp file is complete by
+then, so a transient ``OSError`` from ``os.replace`` (busy mount, brief
+EIO) is safely re-attempted without re-running the writer's body.  The
+``fileio.atomic_write`` fault point sits on the same step, which is how the
+chaos suite drills exactly that failure.
 """
 
 from __future__ import annotations
@@ -16,19 +23,42 @@ import re
 from contextlib import contextmanager
 from pathlib import Path
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 from uuid import uuid4
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..robustness.retry import RetryPolicy
 
 __all__ = ["atomic_write_path", "tmp_file_pattern"]
 
 
+def _publish(tmp_path: Path, path: Path, retry: "RetryPolicy | None") -> None:
+    def attempt() -> None:
+        # lazy import: robustness.faults is dependency-light, but fileio is
+        # imported from nearly everywhere and must not pull it eagerly
+        from ..robustness.faults import maybe_hit
+
+        maybe_hit("fileio.atomic_write", path=str(path))
+        os.replace(tmp_path, path)
+
+    if retry is None:
+        attempt()
+    else:
+        retry.call(attempt)
+
+
 @contextmanager
-def atomic_write_path(path: Path) -> Iterator[Path]:
+def atomic_write_path(
+    path: Path, retry: "RetryPolicy | None" = None
+) -> Iterator[Path]:
     """Yield a temp sibling of ``path``; publish it atomically on success.
 
     The temp name is ``.<stem>.<pid>-<8 hex><suffix>`` — unique per writer,
     matched by :func:`tmp_file_pattern` so orphan reapers can find crashed
     writers' leftovers.  If the body raises, the temp file is removed (best
-    effort) and nothing is published.
+    effort) and nothing is published.  ``retry`` (a
+    :class:`~repro.robustness.retry.RetryPolicy`) re-attempts the *publish*
+    step only — the body never re-runs.
     """
     tmp_path = path.with_name(f".{path.stem}.{os.getpid()}-{uuid4().hex[:8]}{path.suffix}")
     try:
@@ -36,10 +66,10 @@ def atomic_write_path(path: Path) -> Iterator[Path]:
     except BaseException:
         try:
             tmp_path.unlink(missing_ok=True)
-        except OSError:
+        except OSError:  # repro-lint: disable=RETRY001 -- best-effort temp cleanup on an already-failing path; retrying cannot help and must not mask the original error
             pass
         raise
-    os.replace(tmp_path, path)
+    _publish(tmp_path, path, retry)
 
 
 def tmp_file_pattern(stem_regex: str, suffix: str) -> re.Pattern[str]:

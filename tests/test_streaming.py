@@ -445,9 +445,12 @@ class TestPrivacyLedger:
             delta=DELTA,
             epsilon=0.4,
         )
-        document = json.loads(path.read_text())
-        document["entries"][0]["steps"] = 1
-        path.write_text(json.dumps(document))
+        header, entry_line = path.read_text().splitlines()
+        entry = json.loads(entry_line)
+        entry["steps"] = 1
+        path.write_text(
+            header + "\n" + json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        )
         with pytest.raises(PrivacyError, match="tamper|hash|chain"):
             PrivacyLedger(path)
 
